@@ -1,0 +1,127 @@
+"""Ablation: canonical deepest-parent insertion vs naive root insertion.
+
+The paper's canonical factorization inserts every formula-defined clock
+under its *deepest* admissible parent (Figure 12).  This ablation shows what
+that buys:
+
+* on a hierarchical program (a chain of sampled modes), the naive insertion
+  (formulas attached directly under a free root) makes block-nested code
+  generation *impossible* -- the computations of nested modes interleave
+  with the hoisted formula clocks, so no if-then-else nesting exists; the
+  canonical insertion both nests and runs;
+* on a single-module program, where both insertions admit nested code, the
+  canonical tree is at least as deep and the generated code at least as
+  fast.
+"""
+
+import pytest
+
+from repro.clocks.equations import extract_clock_system
+from repro.clocks.resolution import resolve
+from repro.codegen.ir import GenerationStyle
+from repro.codegen.python_backend import compile_step
+from repro.errors import CodeGenerationError
+from repro.graph.dependency import build_dependency_graph
+from repro.graph.scheduling import build_schedule
+from repro.lang.kernel import normalize
+from repro.lang.parser import parse_process
+from repro.lang.types import infer_types
+from repro.programs import ControlProgramSpec, generate_control_program
+
+STEPS_PER_ROUND = 200
+
+
+def idle_oracle(name):
+    return 0 if name.startswith("V_") else False
+
+
+def analyze(spec: ControlProgramSpec, deepest_insertion: bool):
+    source = generate_control_program(spec)
+    program = normalize(parse_process(source))
+    types = infer_types(program)
+    system = extract_clock_system(program, types)
+    hierarchy = resolve(system, deepest_insertion=deepest_insertion)
+    graph = build_dependency_graph(program)
+    schedule = build_schedule(program, hierarchy, graph)
+    return program, types, hierarchy, schedule
+
+
+def build_executable(spec: ControlProgramSpec, deepest_insertion: bool):
+    _, types, hierarchy, schedule = analyze(spec, deepest_insertion)
+    executable = compile_step(
+        schedule, types, style=GenerationStyle.HIERARCHICAL, observable=False
+    )
+    return hierarchy, executable
+
+
+DEEP_SPEC = ControlProgramSpec("ABLATION_DEEP", modules=8, branching=1, sensors=3)
+FLAT_SPEC = ControlProgramSpec("ABLATION_ONE", modules=1, sensors=3)
+
+
+def run_steps(process, steps=STEPS_PER_ROUND):
+    for _ in range(steps):
+        process.step({}, oracle=idle_oracle)
+
+
+# ---------------------------------------------------------------------------
+# Deep hierarchy: canonical insertion enables nesting, naive insertion breaks it
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_insertion_deep_hierarchy(benchmark):
+    benchmark.group = "ablation:insertion-depth (deep hierarchy)"
+    hierarchy, executable = build_executable(DEEP_SPEC, deepest_insertion=True)
+    benchmark.extra_info["forest_height"] = hierarchy.statistics()["forest_height"]
+    executable.reset()
+    benchmark(run_steps, executable)
+
+
+def test_naive_insertion_cannot_nest_deep_hierarchy(benchmark):
+    """With naive insertion the nested backend has no valid block structure."""
+    benchmark.group = "ablation:insertion-depth (deep hierarchy)"
+    benchmark.name = "naive insertion (fails to nest, informational)"
+    _, types, hierarchy, schedule = analyze(DEEP_SPEC, deepest_insertion=False)
+    benchmark.extra_info["forest_height"] = hierarchy.statistics()["forest_height"]
+
+    def attempt():
+        with pytest.raises(CodeGenerationError):
+            compile_step(
+                schedule, types, style=GenerationStyle.HIERARCHICAL, observable=False
+            )
+
+    benchmark.pedantic(attempt, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# Single module: both insertions nest; compare structure and speed
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_insertion_single_module(benchmark):
+    benchmark.group = "ablation:insertion-depth (single module)"
+    hierarchy, executable = build_executable(FLAT_SPEC, deepest_insertion=True)
+    benchmark.extra_info["forest_height"] = hierarchy.statistics()["forest_height"]
+    executable.reset()
+    benchmark(run_steps, executable)
+
+
+def test_naive_insertion_single_module(benchmark):
+    benchmark.group = "ablation:insertion-depth (single module)"
+    hierarchy, executable = build_executable(FLAT_SPEC, deepest_insertion=False)
+    benchmark.extra_info["forest_height"] = hierarchy.statistics()["forest_height"]
+    executable.reset()
+    benchmark(run_steps, executable)
+
+
+def test_structural_comparison(benchmark):
+    """Canonical trees are at least as deep and resolve the same free clocks."""
+    benchmark.group = "ablation:insertion-depth (single module)"
+    benchmark.name = "structure comparison (informational)"
+    canonical = analyze(FLAT_SPEC, deepest_insertion=True)[2].statistics()
+    naive = analyze(FLAT_SPEC, deepest_insertion=False)[2].statistics()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["canonical_height"] = canonical["forest_height"]
+    benchmark.extra_info["naive_height"] = naive["forest_height"]
+    assert canonical["forest_height"] >= naive["forest_height"]
+    assert canonical["free_clocks"] == naive["free_clocks"]
+    assert canonical["unresolved"] == naive["unresolved"] == 0

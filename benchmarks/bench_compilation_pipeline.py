@@ -1,0 +1,96 @@
+"""Compilation-cost breakdown of the pipeline stages.
+
+The paper's Figure 13 measures the clock-calculus cost; these benchmarks
+additionally break the compiler down stage by stage on a mid-size program
+(the CHRONO-sized control program), which documents where the time goes:
+frontend, clock-equation extraction, arborescent resolution, dependency
+graph + scheduling, and code generation.
+"""
+
+import pytest
+
+from repro.clocks.equations import extract_clock_system
+from repro.clocks.resolution import resolve
+from repro.codegen.ir import GenerationStyle
+from repro.codegen.python_backend import compile_step
+from repro.graph.dependency import build_dependency_graph
+from repro.graph.scheduling import build_schedule
+from repro.lang.kernel import normalize
+from repro.lang.parser import parse_process
+from repro.lang.types import infer_types
+from repro.programs import benchmark_source
+
+PROGRAM = "CHRONO"
+
+
+@pytest.fixture(scope="module")
+def stages():
+    source = benchmark_source(PROGRAM)
+    process = parse_process(source)
+    program = normalize(process)
+    types = infer_types(program)
+    system = extract_clock_system(program, types)
+    hierarchy = resolve(system)
+    graph = build_dependency_graph(program)
+    schedule = build_schedule(program, hierarchy, graph)
+    return {
+        "source": source,
+        "process": process,
+        "program": program,
+        "types": types,
+        "system": system,
+        "hierarchy": hierarchy,
+        "graph": graph,
+        "schedule": schedule,
+    }
+
+
+def test_stage_frontend(benchmark, stages):
+    benchmark.group = f"pipeline:{PROGRAM}"
+    benchmark(lambda: normalize(parse_process(stages["source"])))
+
+
+def test_stage_type_inference(benchmark, stages):
+    benchmark.group = f"pipeline:{PROGRAM}"
+    benchmark(infer_types, stages["program"])
+
+
+def test_stage_clock_equations(benchmark, stages):
+    benchmark.group = f"pipeline:{PROGRAM}"
+    benchmark(extract_clock_system, stages["program"], stages["types"])
+
+
+def test_stage_arborescent_resolution(benchmark, stages):
+    benchmark.group = f"pipeline:{PROGRAM}"
+    benchmark(resolve, stages["system"])
+
+
+def test_stage_dependency_graph_and_schedule(benchmark, stages):
+    benchmark.group = f"pipeline:{PROGRAM}"
+
+    def run():
+        graph = build_dependency_graph(stages["program"])
+        graph.check_causality(stages["hierarchy"])
+        return build_schedule(stages["program"], stages["hierarchy"], graph)
+
+    benchmark(run)
+
+
+def test_stage_code_generation_hierarchical(benchmark, stages):
+    benchmark.group = f"pipeline:{PROGRAM}"
+    benchmark(
+        compile_step,
+        stages["schedule"],
+        stages["types"],
+        style=GenerationStyle.HIERARCHICAL,
+    )
+
+
+def test_stage_code_generation_flat(benchmark, stages):
+    benchmark.group = f"pipeline:{PROGRAM}"
+    benchmark(
+        compile_step,
+        stages["schedule"],
+        stages["types"],
+        style=GenerationStyle.FLAT,
+    )

@@ -1,0 +1,171 @@
+"""Figure 13: comparison of equation-system representations.
+
+For every benchmark program the paper compares three representations of the
+system of boolean clock equations.  These benchmarks regenerate the rows:
+
+* ``test_tbdd_*``            -- the arborescent T&BDD resolution (ours wins);
+* ``test_characteristic_*``  -- a single BDD for the whole system, under a
+  node budget and a time limit (reproduces the ``unable-mem``/``unable-cpu``
+  entries on the larger programs);
+* ``test_after_tbdd_*``      -- the characteristic function of the
+  triangularized system (completes, and is far smaller, on the small
+  programs).
+
+Run with ``pytest benchmarks/ --benchmark-only``; the full table with the
+paper's reference numbers side by side is printed by
+``python examples/figure13_table.py``.
+"""
+
+import pytest
+
+from repro.clocks.characteristic import (
+    build_characteristic_after_tree,
+    build_characteristic_function,
+)
+from repro.compiler import analyze_source
+from repro.programs import benchmark_names, benchmark_source, paper_reference
+
+# Resource limits for the characteristic-function baselines (scaled-down
+# stand-ins for the paper's 200 MB / 40 min limits; see EXPERIMENTS.md).
+NODE_BUDGET = 1_000_000
+TIME_LIMIT = 15.0
+
+#: Programs small enough that the baselines terminate within the limits.
+SMALL_PROGRAMS = ["PACE_MAKER", "ROBOT"]
+#: Programs on which the flat characteristic function must blow up.
+LARGE_PROGRAMS = ["SUPERVISOR", "CHRONO", "ALARM"]
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    """Clock systems and hierarchies of every benchmark program (cached)."""
+    result = {}
+    for name in benchmark_names():
+        source = benchmark_source(name)
+        _, _, system, hierarchy = analyze_source(source)
+        result[name] = (source, system, hierarchy)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Representation 1: T&BDD (the arborescent resolution)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_tbdd_resolution(benchmark, name):
+    """Full clock analysis (parse -> equations -> arborescent resolution)."""
+    source = benchmark_source(name)
+    benchmark.group = f"figure13:{name}"
+    benchmark.name = "T&BDD resolution"
+
+    def run():
+        _, _, system, hierarchy = analyze_source(source)
+        return system, hierarchy
+
+    system, hierarchy = benchmark(run)
+    stats = hierarchy.statistics()
+    benchmark.extra_info["variables"] = system.variable_count()
+    benchmark.extra_info["paper_variables"] = paper_reference(name)["variables"]
+    benchmark.extra_info["bdd_nodes"] = stats["bdd_nodes"]
+    benchmark.extra_info["paper_bdd_nodes"] = paper_reference(name)["tbdd_nodes"]
+    # Shape assertions: the resolution succeeds, with a single master clock,
+    # and the program size tracks the paper's variable count.
+    assert hierarchy.is_resolved
+    assert hierarchy.master_class() is not None
+    assert abs(system.variable_count() - paper_reference(name)["variables"]) < 0.2 * (
+        paper_reference(name)["variables"]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Representation 2: characteristic function of the whole system
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", SMALL_PROGRAMS)
+def test_characteristic_function_small(benchmark, analyses, name):
+    """On the smallest programs the flat characteristic function completes."""
+    _, system, _ = analyses[name]
+    benchmark.group = f"figure13:{name}"
+    benchmark.name = "characteristic function"
+
+    result = benchmark(
+        build_characteristic_function,
+        system,
+        max_nodes=NODE_BUDGET * 3,
+        time_limit=TIME_LIMIT * 4,
+    )
+    benchmark.extra_info["status"] = result.status
+    benchmark.extra_info["nodes"] = result.nodes
+    assert result.completed
+    # Far larger than the T&BDD representation of the same program.
+    assert result.nodes > 1000
+
+
+@pytest.mark.parametrize("name", LARGE_PROGRAMS)
+def test_characteristic_function_blows_up(benchmark, analyses, name):
+    """Beyond the smallest programs the characteristic function is impractical."""
+    _, system, _ = analyses[name]
+    benchmark.group = f"figure13:{name}"
+    benchmark.name = "characteristic function (resource-limited)"
+
+    result = benchmark.pedantic(
+        build_characteristic_function,
+        args=(system,),
+        kwargs={"max_nodes": NODE_BUDGET, "time_limit": TIME_LIMIT},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["status"] = result.status
+    assert not result.completed
+    assert result.status in ("unable-mem", "unable-cpu")
+
+
+# ---------------------------------------------------------------------------
+# Representation 3: characteristic function after T&BDD
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", SMALL_PROGRAMS)
+def test_after_tbdd_small(benchmark, analyses, name):
+    """The triangularized system has a small characteristic function."""
+    _, system, hierarchy = analyses[name]
+    benchmark.group = f"figure13:{name}"
+    benchmark.name = "characteristic after T&BDD"
+
+    result = benchmark(
+        build_characteristic_after_tree,
+        hierarchy,
+        max_nodes=NODE_BUDGET,
+        time_limit=TIME_LIMIT,
+    )
+    benchmark.extra_info["status"] = result.status
+    benchmark.extra_info["nodes"] = result.nodes
+    assert result.completed
+    # Fewer variables than the flat representation (variables eliminated) and
+    # a much smaller BDD than the flat characteristic function.
+    flat = build_characteristic_function(
+        system, max_nodes=NODE_BUDGET * 3, time_limit=TIME_LIMIT * 4
+    )
+    assert result.variables < flat.variables
+    if flat.completed:
+        assert result.nodes < flat.nodes
+
+
+@pytest.mark.parametrize("name", ["ALARM", "WATCH", "STOPWATCH"])
+def test_after_tbdd_large_still_limited(benchmark, analyses, name):
+    """Even after triangularization, the big programs exceed the scaled limits."""
+    _, _, hierarchy = analyses[name]
+    benchmark.group = f"figure13:{name}"
+    benchmark.name = "characteristic after T&BDD (resource-limited)"
+
+    result = benchmark.pedantic(
+        build_characteristic_after_tree,
+        args=(hierarchy,),
+        kwargs={"max_nodes": NODE_BUDGET, "time_limit": TIME_LIMIT},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["status"] = result.status
+    assert result.status in ("unable-mem", "unable-cpu")

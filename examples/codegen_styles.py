@@ -1,0 +1,72 @@
+"""Nested vs flat code generation (Figure 9).
+
+The clock-inclusion information captured by the clock tree lets the
+compiler nest if-then-else structures: when a clock is absent, none of the
+tests for the clocks included in it are evaluated.  The paper reports (from
+[19]) that this can make the generated code up to ~300% faster.
+
+This script compiles a hierarchical control program (a tree of sampled
+modes) in both styles, shows the structural difference on the generated C,
+and measures the step-time ratio on a random run where most modes are off
+most of the time -- the situation the nesting is designed for.
+
+Run with ``python examples/codegen_styles.py``.
+"""
+
+import time
+
+from repro import GenerationStyle, compile_source
+from repro.programs import ALARM_SOURCE, ControlProgramSpec, generate_control_program
+from repro.runtime import random_oracle
+
+
+def measure(process, oracle, steps):
+    process.reset()
+    start = time.perf_counter()
+    for _ in range(steps):
+        process.step({}, oracle=oracle)
+    return time.perf_counter() - start
+
+
+def idle_oracle(name):
+    """All buttons released: every mode stays off (best case for nesting)."""
+    return 0 if name.startswith("V_") else False
+
+
+def main() -> None:
+    print("=== ALARM: the two generated shapes ===")
+    alarm = compile_source(ALARM_SOURCE, build_flat=True, observable=False)
+    nested_c = alarm.c_source(GenerationStyle.HIERARCHICAL)
+    flat_c = alarm.c_source(GenerationStyle.FLAT)
+    print("-- nested (Figure 9, code a) --")
+    print("\n".join(nested_c.splitlines()[:40]))
+    print("   ...")
+    print("-- flat (Figure 9, code b) --")
+    print("\n".join(flat_c.splitlines()[:40]))
+    print("   ...")
+    print()
+
+    print("=== step-time comparison on a deep mode hierarchy ===")
+    source = generate_control_program(
+        ControlProgramSpec("DEEPWATCH", modules=20, branching=1, sensors=3)
+    )
+    result = compile_source(source, build_flat=True, observable=False)
+    steps = 3000
+    for label, oracle_factory in (
+        ("idle (all modes off)", lambda: idle_oracle),
+        ("random activity", lambda: random_oracle(result.types, seed=3)),
+    ):
+        nested_seconds = measure(result.executable, oracle_factory(), steps)
+        flat_seconds = measure(result.executable_flat, oracle_factory(), steps)
+        print(
+            f"{label:<22}: nested {nested_seconds:.3f}s, flat {flat_seconds:.3f}s"
+            f"  -> flat/nested = {flat_seconds / nested_seconds:.2f}x"
+        )
+    print()
+    print("The nested code skips the whole subtree of every absent mode; the flat")
+    print("code re-evaluates every clock test at every reaction (the paper reports")
+    print("up to ~300% faster code thanks to the nesting).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""A stopwatch written in SIGNAL (in the spirit of the paper's STOPWATCH/WATCH).
+
+The stopwatch reacts to two buttons sampled at every tick of its master
+clock:
+
+* ``TOGGLE`` starts/stops the time count;
+* ``LAP_BTN`` freezes/unfreezes the displayed value (lap time) without
+  stopping the count.
+
+It exercises the delay operator (state and counters), downsampling
+(``when``), merge (``default``) and the clock calculus (the lap output only
+exists at the instants where the lap button is pressed).
+
+Run with ``python examples/stopwatch.py``.
+"""
+
+from repro import compile_source, timing_diagram
+from repro.runtime import Trace
+
+STOPWATCH = """
+process STOPWATCH =
+  ( ? boolean TOGGLE, LAP_BTN;
+    ! integer DISPLAY; integer LAP; boolean RUNNING_OUT; )
+  (| RUNNING := NEXT_RUNNING $ 1 init false            % is the time counting?
+   | NEXT_RUNNING := ((not RUNNING) when TOGGLE) default RUNNING
+   | synchro { RUNNING, TOGGLE, LAP_BTN }
+
+   | TIME := ((ZTIME + 1) when RUNNING) default ZTIME  % elapsed ticks
+   | ZTIME := TIME $ 1 init 0
+   | synchro { TIME, RUNNING }
+
+   | FROZEN := NEXT_FROZEN $ 1 init false              % lap display freeze
+   | NEXT_FROZEN := ((not FROZEN) when LAP_BTN) default FROZEN
+   | synchro { FROZEN, RUNNING }
+
+   | DISPLAY := (ZDISPLAY when FROZEN) default TIME    % frozen or live time
+   | ZDISPLAY := DISPLAY $ 1 init 0
+   | synchro { DISPLAY, TIME }
+
+   | LAP := TIME when LAP_BTN                          % lap time, on button press
+   | RUNNING_OUT := RUNNING
+   |)
+  where boolean RUNNING, NEXT_RUNNING, FROZEN, NEXT_FROZEN;
+        integer TIME, ZTIME, ZDISPLAY;
+end;
+"""
+
+
+def main() -> None:
+    result = compile_source(STOPWATCH, build_flat=True)
+
+    print("=== clock hierarchy ===")
+    print(result.hierarchy.render_forest())
+    print("free clocks:", [c.display_name() for c in result.hierarchy.free_classes()])
+    print()
+
+    print("=== scenario ===")
+    # (TOGGLE, LAP_BTN) per tick: start, run, lap, run, unlap, stop.
+    buttons = [
+        (True, False),   # start counting
+        (False, False),
+        (False, False),
+        (False, True),   # freeze the display (lap)
+        (False, False),
+        (False, True),   # unfreeze
+        (True, False),   # stop counting
+        (False, False),
+    ]
+    trace = Trace()
+    for toggle, lap in buttons:
+        observed = {}
+        result.executable.step({"TOGGLE": toggle, "LAP_BTN": lap}, observe=observed)
+        trace.append(observed)
+    print(timing_diagram(trace, ["TOGGLE", "LAP_BTN", "RUNNING_OUT", "DISPLAY", "LAP"]))
+    print()
+    print("DISPLAY flow:", trace.values("DISPLAY"))
+    print("LAP flow (only when the lap button is pressed):", trace.values("LAP"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so legacy editable installs work in offline environments.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e . --no-use-pep517`` (which avoids the ``wheel`` build
+dependency) has a ``setup.py`` to call.
+"""
+
+from setuptools import setup
+
+setup()

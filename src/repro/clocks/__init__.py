@@ -1,0 +1,54 @@
+"""The clock calculus: the paper's core contribution.
+
+Every SIGNAL program is abstractly interpreted as a system of boolean
+equations over *clocks* (sets of instants).  This package provides:
+
+* :mod:`repro.clocks.algebra` -- the clock term language (signal clocks
+  ``x̂``, condition samplings ``[C]`` / ``[¬C]``, meet/join/difference and
+  the null clock);
+* :mod:`repro.clocks.equations` -- extraction of the equation system from a
+  kernel program (Table 1 of the paper);
+* :mod:`repro.clocks.encoding` -- the BDD encoding of clock formulas;
+* :mod:`repro.clocks.tree` -- partition trees, clock trees and the forest of
+  clocks (Section 3.4);
+* :mod:`repro.clocks.resolution` -- triangularization by arborescent
+  resolution: equivalence classes, orientation, fusion and canonical
+  (deepest-parent) insertion, free-variable discovery;
+* :mod:`repro.clocks.characteristic` -- the characteristic-function
+  baseline used in the Figure 13 comparison.
+"""
+
+from .algebra import (
+    ClockExpr,
+    CondFalse,
+    CondTrue,
+    Diff,
+    Join,
+    Meet,
+    NullClock,
+    SignalClock,
+    clock_atoms,
+)
+from .equations import ClockEquation, ClockSystem, extract_clock_system
+from .resolution import ClockClass, ClockHierarchy, resolve
+from .tree import ClockNode, ClockForest
+
+__all__ = [
+    "ClockExpr",
+    "CondFalse",
+    "CondTrue",
+    "Diff",
+    "Join",
+    "Meet",
+    "NullClock",
+    "SignalClock",
+    "clock_atoms",
+    "ClockEquation",
+    "ClockSystem",
+    "extract_clock_system",
+    "ClockClass",
+    "ClockHierarchy",
+    "resolve",
+    "ClockNode",
+    "ClockForest",
+]

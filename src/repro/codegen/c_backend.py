@@ -1,0 +1,174 @@
+"""C source emission from the step IR.
+
+The C backend mirrors the structure of the sequential code described in
+Section 2.6 of the paper (``if present(k) then ... endif``): one C function
+``<process>_step`` performing one reaction, guarded reads/writes for every
+signal, and static variables for the delay registers.  It is an *emitter
+only* -- the reproduction executes the Python backend -- but it makes the
+nesting difference between the hierarchical and the flat styles (Figure 9)
+directly visible, and it is exercised by the tests for structural properties
+(guard counts, nesting depth).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from ..errors import CodeGenerationError
+from ..lang.types import SignalType
+from .ir import (
+    Binary,
+    ClockChoice,
+    ComputeValue,
+    EmitOutput,
+    FlagAnd,
+    FlagAndNot,
+    FlagExpr,
+    FlagOr,
+    FlagRef,
+    Guard,
+    Lit,
+    ReadInput,
+    ReadRegister,
+    SetFlagFormula,
+    SetFlagPartition,
+    SetFlagRoot,
+    SigRef,
+    StepIR,
+    Stmt,
+    Unary,
+    UpdateRegister,
+    ValueExpr,
+)
+
+__all__ = ["generate_c_source"]
+
+
+_C_TYPES = {
+    SignalType.EVENT: "int",
+    SignalType.BOOLEAN: "int",
+    SignalType.INTEGER: "long",
+    SignalType.REAL: "double",
+}
+
+_C_BINARY = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "modulo": "%",
+    "and": "&&",
+    "or": "||",
+    "=": "==",
+    "/=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "xor": "!=",
+}
+
+
+def _c_literal(value: Union[bool, int, float]) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return repr(value)
+
+
+def _c_value(expression: ValueExpr) -> str:
+    if isinstance(expression, SigRef):
+        return expression.signal
+    if isinstance(expression, Lit):
+        return _c_literal(expression.value)
+    if isinstance(expression, Unary):
+        if expression.operator == "not":
+            return f"(!{_c_value(expression.operand)})"
+        return f"(-{_c_value(expression.operand)})"
+    if isinstance(expression, Binary):
+        operator = _C_BINARY.get(expression.operator)
+        if operator is None:
+            raise CodeGenerationError(f"unsupported operator {expression.operator!r}")
+        return f"({_c_value(expression.left)} {operator} {_c_value(expression.right)})"
+    if isinstance(expression, ClockChoice):
+        return (
+            f"(h{expression.class_id} ? {_c_value(expression.then_value)}"
+            f" : {_c_value(expression.else_value)})"
+        )
+    raise CodeGenerationError(f"unsupported value expression {expression!r}")
+
+
+def _c_flag(expression: FlagExpr) -> str:
+    if isinstance(expression, FlagRef):
+        return f"h{expression.class_id}"
+    if isinstance(expression, FlagAnd):
+        return f"({_c_flag(expression.left)} && {_c_flag(expression.right)})"
+    if isinstance(expression, FlagOr):
+        return f"({_c_flag(expression.left)} || {_c_flag(expression.right)})"
+    if isinstance(expression, FlagAndNot):
+        return f"({_c_flag(expression.left)} && !{_c_flag(expression.right)})"
+    raise CodeGenerationError(f"unsupported flag expression {expression!r}")
+
+
+def _emit(statement: Stmt, lines: List[str], indent: int) -> None:
+    pad = "    " * indent
+    if isinstance(statement, SetFlagRoot):
+        lines.append(f"{pad}h{statement.class_id} = read_clock_input(\"{statement.input_key}\");")
+    elif isinstance(statement, SetFlagPartition):
+        test = statement.condition if statement.polarity else f"!{statement.condition}"
+        if statement.parent_id is None:
+            lines.append(f"{pad}h{statement.class_id} = {test};")
+        else:
+            lines.append(f"{pad}h{statement.class_id} = h{statement.parent_id} && {test};")
+    elif isinstance(statement, SetFlagFormula):
+        lines.append(f"{pad}h{statement.class_id} = {_c_flag(statement.formula)};")
+    elif isinstance(statement, ReadInput):
+        lines.append(f"{pad}{statement.signal} = read_input_{statement.signal}();")
+    elif isinstance(statement, ReadRegister):
+        lines.append(f"{pad}{statement.signal} = {statement.register};")
+    elif isinstance(statement, ComputeValue):
+        lines.append(f"{pad}{statement.signal} = {_c_value(statement.expression)};")
+    elif isinstance(statement, EmitOutput):
+        lines.append(f"{pad}write_output_{statement.signal}({statement.signal});")
+    elif isinstance(statement, UpdateRegister):
+        lines.append(f"{pad}{statement.register} = {_c_value(statement.source)};")
+    elif isinstance(statement, Guard):
+        lines.append(f"{pad}if (h{statement.class_id}) {{")
+        for inner in statement.body:
+            _emit(inner, lines, indent + 1)
+        lines.append(f"{pad}}}")
+    else:  # pragma: no cover - exhaustive over statement kinds
+        raise CodeGenerationError(f"unsupported statement {statement!r}")
+
+
+def generate_c_source(ir: StepIR) -> str:
+    """Render the step IR as a self-contained C-like translation unit."""
+    lines: List[str] = []
+    lines.append(f"/* Generated by the SIGNAL reproduction compiler -- process {ir.name} */")
+    lines.append(f"/* style: {ir.style.value} */")
+    lines.append("#include <stdbool.h>")
+    lines.append("")
+
+    for register in ir.registers:
+        c_type = _C_TYPES[register.type]
+        lines.append(f"static {c_type} {register.register} = {_c_literal(register.initial)};")
+    if ir.registers:
+        lines.append("")
+
+    hierarchy = ir.schedule.hierarchy
+    flag_ids = sorted(c.id for c in hierarchy.classes if not c.is_null)
+    signal_declarations = []
+    for signal, clock_class in ir.schedule.signal_class.items():
+        c_type = _C_TYPES[ir.types[signal]]
+        signal_declarations.append(f"    {c_type} {signal};")
+
+    lines.append(f"void {ir.name}_step(void)")
+    lines.append("{")
+    for class_id in flag_ids:
+        lines.append(f"    bool h{class_id} = false;")
+    lines.extend(sorted(signal_declarations))
+    lines.append("")
+    for statement in ir.statements:
+        _emit(statement, lines, 1)
+    lines.append("}")
+    lines.append("")
+    return "\n".join(lines)

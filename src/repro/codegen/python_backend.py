@@ -1,0 +1,302 @@
+"""Python emission and in-process compilation of the step IR.
+
+The generated code is a plain Python class with
+
+* one attribute per delay register (``self.z_<signal>``),
+* a ``step(inputs, oracle=None, observe=None)`` method performing one
+  reaction: ``inputs`` maps input signal names (and, for programs with
+  several free clocks, root presence flags) to values; ``oracle`` is an
+  optional callable used to fetch the value of an input that the clock
+  calculus requires but that is missing from ``inputs``; ``observe``, when a
+  dict is supplied, receives the value of every signal present at this
+  reaction (used by the test harness to compare against the reference
+  interpreter).
+
+``compile_step`` executes the generated source and returns a
+:class:`CompiledProcess` handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..errors import CodeGenerationError, SimulationError
+from ..graph.scheduling import Schedule
+from ..lang.types import SignalType
+from .ir import (
+    Binary,
+    ClockChoice,
+    ComputeValue,
+    EmitOutput,
+    FlagAnd,
+    FlagAndNot,
+    FlagExpr,
+    FlagOr,
+    FlagRef,
+    GenerationStyle,
+    Guard,
+    Lit,
+    ReadInput,
+    ReadRegister,
+    SetFlagFormula,
+    SetFlagPartition,
+    SetFlagRoot,
+    SigRef,
+    StepIR,
+    Stmt,
+    Unary,
+    UpdateRegister,
+    ValueExpr,
+    build_step_ir,
+)
+
+__all__ = ["generate_python_source", "compile_step", "CompiledProcess"]
+
+
+_BINARY_OPERATORS = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "modulo": "%",
+    "and": "and",
+    "or": "or",
+    "=": "==",
+    "/=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+
+def _literal(value: Union[bool, int, float]) -> str:
+    return repr(value)
+
+
+def _flag(class_id: int) -> str:
+    return f"h{class_id}"
+
+
+def _signal_var(name: str) -> str:
+    return f"s_{name}"
+
+
+def _value_expr(expression: ValueExpr) -> str:
+    if isinstance(expression, SigRef):
+        return _signal_var(expression.signal)
+    if isinstance(expression, Lit):
+        return _literal(expression.value)
+    if isinstance(expression, Unary):
+        if expression.operator == "not":
+            return f"(not {_value_expr(expression.operand)})"
+        return f"(- {_value_expr(expression.operand)})"
+    if isinstance(expression, Binary):
+        operator = expression.operator
+        if operator == "xor":
+            return f"(bool({_value_expr(expression.left)}) != bool({_value_expr(expression.right)}))"
+        if operator == "/" and expression.integer:
+            return f"({_value_expr(expression.left)} // {_value_expr(expression.right)})"
+        python_operator = _BINARY_OPERATORS.get(operator)
+        if python_operator is None:
+            raise CodeGenerationError(f"unsupported operator {operator!r}")
+        return f"({_value_expr(expression.left)} {python_operator} {_value_expr(expression.right)})"
+    if isinstance(expression, ClockChoice):
+        return (
+            f"({_value_expr(expression.then_value)} if {_flag(expression.class_id)}"
+            f" else {_value_expr(expression.else_value)})"
+        )
+    raise CodeGenerationError(f"unsupported value expression {expression!r}")
+
+
+def _flag_expr(expression: FlagExpr) -> str:
+    if isinstance(expression, FlagRef):
+        return _flag(expression.class_id)
+    if isinstance(expression, FlagAnd):
+        return f"({_flag_expr(expression.left)} and {_flag_expr(expression.right)})"
+    if isinstance(expression, FlagOr):
+        return f"({_flag_expr(expression.left)} or {_flag_expr(expression.right)})"
+    if isinstance(expression, FlagAndNot):
+        return f"({_flag_expr(expression.left)} and not {_flag_expr(expression.right)})"
+    raise CodeGenerationError(f"unsupported flag expression {expression!r}")
+
+
+def _emit_statement(
+    statement: Stmt, lines: List[str], indent: int, observable: bool
+) -> None:
+    pad = "    " * indent
+    if isinstance(statement, SetFlagRoot):
+        lines.append(
+            f"{pad}{_flag(statement.class_id)} = bool(inputs.get({statement.input_key!r}, "
+            f"{statement.default!r}))"
+        )
+    elif isinstance(statement, SetFlagPartition):
+        value = _signal_var(statement.condition)
+        test = f"bool({value})" if statement.polarity else f"(not {value})"
+        if statement.parent_id is None:
+            lines.append(f"{pad}{_flag(statement.class_id)} = {test}")
+        else:
+            lines.append(
+                f"{pad}{_flag(statement.class_id)} = {_flag(statement.parent_id)} and {test}"
+            )
+    elif isinstance(statement, SetFlagFormula):
+        lines.append(f"{pad}{_flag(statement.class_id)} = {_flag_expr(statement.formula)}")
+    elif isinstance(statement, ReadInput):
+        variable = _signal_var(statement.signal)
+        lines.append(f"{pad}if {statement.signal!r} in inputs:")
+        lines.append(f"{pad}    {variable} = inputs[{statement.signal!r}]")
+        lines.append(f"{pad}elif oracle is not None:")
+        lines.append(f"{pad}    {variable} = oracle({statement.signal!r})")
+        lines.append(f"{pad}else:")
+        lines.append(
+            f"{pad}    raise SimulationError("
+            f"'input signal {statement.signal} is required at this instant')"
+        )
+        if observable:
+            lines.append(f"{pad}if observe is not None:")
+            lines.append(f"{pad}    observe[{statement.signal!r}] = {variable}")
+    elif isinstance(statement, ReadRegister):
+        lines.append(f"{pad}{_signal_var(statement.signal)} = self.{statement.register}")
+        if observable:
+            lines.append(f"{pad}if observe is not None:")
+            lines.append(
+                f"{pad}    observe[{statement.signal!r}] = {_signal_var(statement.signal)}"
+            )
+    elif isinstance(statement, ComputeValue):
+        lines.append(
+            f"{pad}{_signal_var(statement.signal)} = {_value_expr(statement.expression)}"
+        )
+        if observable:
+            lines.append(f"{pad}if observe is not None:")
+            lines.append(
+                f"{pad}    observe[{statement.signal!r}] = {_signal_var(statement.signal)}"
+            )
+    elif isinstance(statement, EmitOutput):
+        lines.append(
+            f"{pad}outputs[{statement.signal!r}] = {_signal_var(statement.signal)}"
+        )
+    elif isinstance(statement, UpdateRegister):
+        lines.append(f"{pad}self.{statement.register} = {_value_expr(statement.source)}")
+    elif isinstance(statement, Guard):
+        lines.append(f"{pad}if {_flag(statement.class_id)}:")
+        if statement.body:
+            for inner in statement.body:
+                _emit_statement(inner, lines, indent + 1, observable)
+        else:
+            lines.append(f"{pad}    pass")
+    else:  # pragma: no cover - exhaustive over statement kinds
+        raise CodeGenerationError(f"unsupported statement {statement!r}")
+
+
+def generate_python_source(ir: StepIR, observable: bool = True) -> str:
+    """Render the step IR as Python source defining a ``Step`` class."""
+    class_name = f"{ir.name}_step".replace("-", "_")
+    lines: List[str] = []
+    lines.append('"""Generated by the SIGNAL reproduction compiler -- do not edit."""')
+    lines.append("")
+    lines.append("from repro.errors import SimulationError")
+    lines.append("")
+    lines.append("")
+    lines.append(f"class {class_name}:")
+    lines.append(f'    """Reaction function of process {ir.name} ({ir.style.value} style)."""')
+    lines.append("")
+    lines.append("    def __init__(self):")
+    if ir.registers:
+        for register in ir.registers:
+            lines.append(f"        self.{register.register} = {_literal(register.initial)}")
+    else:
+        lines.append("        pass")
+    lines.append("")
+    lines.append("    def reset(self):")
+    if ir.registers:
+        for register in ir.registers:
+            lines.append(f"        self.{register.register} = {_literal(register.initial)}")
+    else:
+        lines.append("        pass")
+    lines.append("")
+    if observable:
+        lines.append("    def step(self, inputs, oracle=None, observe=None):")
+    else:
+        lines.append("    def step(self, inputs, oracle=None):")
+    lines.append("        outputs = {}")
+    for class_id in ir.initialized_flags:
+        lines.append(f"        {_flag(class_id)} = False")
+    for statement in ir.statements:
+        _emit_statement(statement, lines, 2, observable)
+    lines.append("        return outputs")
+    lines.append("")
+    return "\n".join(lines)
+
+
+@dataclass
+class CompiledProcess:
+    """An executable compiled SIGNAL process."""
+
+    name: str
+    style: GenerationStyle
+    source: str
+    ir: StepIR
+    step_instance: object
+    inputs: List[str]
+    outputs: List[str]
+    #: (input key, default) for every free clock of the program
+    root_flags: List[Tuple[int, str, bool]]
+    types: Dict[str, SignalType] = field(default_factory=dict)
+
+    def step(
+        self,
+        inputs: Optional[Mapping[str, object]] = None,
+        oracle: Optional[Callable[[str], object]] = None,
+        observe: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Run one reaction and return the present outputs."""
+        arguments = dict(inputs or {})
+        return self.step_instance.step(arguments, oracle, observe)
+
+    def run(
+        self,
+        input_trace: List[Mapping[str, object]],
+        oracle: Optional[Callable[[str], object]] = None,
+    ) -> List[Dict[str, object]]:
+        """Run one reaction per element of ``input_trace`` and collect outputs."""
+        return [self.step(instant, oracle) for instant in input_trace]
+
+    def reset(self) -> None:
+        self.step_instance.reset()
+
+
+def compile_step(
+    schedule: Schedule,
+    types: Dict[str, SignalType],
+    style: GenerationStyle = GenerationStyle.HIERARCHICAL,
+    observable: bool = True,
+    name: Optional[str] = None,
+) -> CompiledProcess:
+    """Generate, execute and wrap the Python step for a scheduled program."""
+    ir = build_step_ir(schedule, types, style, name)
+    source = generate_python_source(ir, observable=observable)
+    namespace: Dict[str, object] = {"SimulationError": SimulationError}
+    exec(compile(source, f"<generated {ir.name}>", "exec"), namespace)
+    class_name = f"{ir.name}_step".replace("-", "_")
+    step_class = namespace[class_name]
+    instance = step_class()  # type: ignore[operator]
+    if not observable:
+        # Normalize the signature so CompiledProcess.step can always pass observe.
+        original_step = instance.step
+
+        def step_without_observe(inputs, oracle=None, observe=None):  # noqa: ANN001
+            return original_step(inputs, oracle)
+
+        instance.step = step_without_observe  # type: ignore[method-assign]
+    return CompiledProcess(
+        name=ir.name,
+        style=style,
+        source=source,
+        ir=ir,
+        step_instance=instance,
+        inputs=list(ir.inputs),
+        outputs=list(ir.outputs),
+        root_flags=list(ir.root_flags),
+        types=dict(types),
+    )

@@ -1,0 +1,15 @@
+"""The conditional dependency graph (Table 2) and clock-aware causality analysis."""
+
+from .dependency import ConditionalDependencyGraph, DependencyEdge, build_dependency_graph
+from .scheduling import Action, ComputeClock, ComputeSignal, Schedule, build_schedule
+
+__all__ = [
+    "ConditionalDependencyGraph",
+    "DependencyEdge",
+    "build_dependency_graph",
+    "Action",
+    "ComputeClock",
+    "ComputeSignal",
+    "Schedule",
+    "build_schedule",
+]

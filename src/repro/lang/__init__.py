@@ -1,0 +1,76 @@
+"""SIGNAL language frontend.
+
+The frontend turns SIGNAL source text into *kernel processes*, the five
+primitive constructs the paper's clock calculus is defined on:
+
+* functional expressions         ``Y := f(X1, ..., Xn)``
+* reference to past values       ``ZX := X $ 1 init v0``
+* downsampling                   ``X := U when C``
+* deterministic merge            ``X := U default V``
+* composition                    ``(| P | Q |)``
+
+The extended language (``event``, unary ``when``, ``synchro``, ``cell``,
+nested expressions) is desugared by :mod:`repro.lang.kernel`.
+"""
+
+from .ast import (
+    BinaryOp,
+    Cell,
+    Constant,
+    Default,
+    Delay,
+    Equation,
+    EventOf,
+    Expression,
+    Process,
+    SignalDeclaration,
+    SignalRef,
+    Synchro,
+    UnaryOp,
+    UnaryWhen,
+    When,
+)
+from .kernel import (
+    KernelDefault,
+    KernelDelay,
+    KernelFunction,
+    KernelProcess,
+    KernelProgram,
+    KernelSynchro,
+    KernelWhen,
+    normalize,
+)
+from .lexer import Token, tokenize
+from .parser import parse_process
+from .types import SignalType, infer_types
+
+__all__ = [
+    "BinaryOp",
+    "Cell",
+    "Constant",
+    "Default",
+    "Delay",
+    "Equation",
+    "EventOf",
+    "Expression",
+    "Process",
+    "SignalDeclaration",
+    "SignalRef",
+    "Synchro",
+    "UnaryOp",
+    "UnaryWhen",
+    "When",
+    "KernelDefault",
+    "KernelDelay",
+    "KernelFunction",
+    "KernelProcess",
+    "KernelProgram",
+    "KernelSynchro",
+    "KernelWhen",
+    "normalize",
+    "Token",
+    "tokenize",
+    "parse_process",
+    "SignalType",
+    "infer_types",
+]

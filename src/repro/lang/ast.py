@@ -1,0 +1,298 @@
+"""Abstract syntax of the SIGNAL surface language.
+
+The surface language implemented here is the subset used throughout the
+paper: typed signal declarations, equations built from functional operators,
+the delay operator ``$ ... init``, ``when``, ``default``, the derived
+operators ``event``, unary ``when``, ``cell`` and the ``synchro`` constraint,
+composed with ``(| ... |)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import SourceLocation
+
+__all__ = [
+    "Expression",
+    "Constant",
+    "SignalRef",
+    "UnaryOp",
+    "BinaryOp",
+    "When",
+    "UnaryWhen",
+    "Default",
+    "Delay",
+    "EventOf",
+    "Cell",
+    "Equation",
+    "Synchro",
+    "Statement",
+    "SignalDeclaration",
+    "Process",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expression:
+    """Base class of SIGNAL expressions."""
+
+    def free_signals(self) -> Tuple[str, ...]:
+        """Names of the signals referenced by this expression, in order."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Constant(Expression):
+    """A literal constant (boolean, integer or real).
+
+    Constants are clock-neutral: they adapt to the clock of the expression
+    they appear in, so they contribute no clock constraint.
+    """
+
+    value: Union[bool, int, float]
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def free_signals(self) -> Tuple[str, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SignalRef(Expression):
+    """A reference to a declared signal."""
+
+    name: str
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def free_signals(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary functional operator: ``not`` or arithmetic negation."""
+
+    operator: str
+    operand: Expression
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def free_signals(self) -> Tuple[str, ...]:
+        return self.operand.free_signals()
+
+    def __str__(self) -> str:
+        return f"({self.operator} {self.operand})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary functional operator (arithmetic, relational or boolean)."""
+
+    operator: str
+    left: Expression
+    right: Expression
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def free_signals(self) -> Tuple[str, ...]:
+        return self.left.free_signals() + self.right.free_signals()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.operator} {self.right})"
+
+
+@dataclass(frozen=True)
+class When(Expression):
+    """Downsampling: ``expr when condition``."""
+
+    expression: Expression
+    condition: Expression
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def free_signals(self) -> Tuple[str, ...]:
+        return self.expression.free_signals() + self.condition.free_signals()
+
+    def __str__(self) -> str:
+        return f"({self.expression} when {self.condition})"
+
+
+@dataclass(frozen=True)
+class UnaryWhen(Expression):
+    """The derived unary ``when C``, shorthand for ``C when C``."""
+
+    condition: Expression
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def free_signals(self) -> Tuple[str, ...]:
+        return self.condition.free_signals()
+
+    def __str__(self) -> str:
+        return f"(when {self.condition})"
+
+
+@dataclass(frozen=True)
+class Default(Expression):
+    """Deterministic merge: ``left default right`` (priority to ``left``)."""
+
+    left: Expression
+    right: Expression
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def free_signals(self) -> Tuple[str, ...]:
+        return self.left.free_signals() + self.right.free_signals()
+
+    def __str__(self) -> str:
+        return f"({self.left} default {self.right})"
+
+
+@dataclass(frozen=True)
+class Delay(Expression):
+    """Reference to past values: ``expr $ depth init value``."""
+
+    expression: Expression
+    depth: int = 1
+    initial: Optional[Constant] = None
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def free_signals(self) -> Tuple[str, ...]:
+        return self.expression.free_signals()
+
+    def __str__(self) -> str:
+        init = f" init {self.initial}" if self.initial is not None else ""
+        return f"({self.expression} $ {self.depth}{init})"
+
+
+@dataclass(frozen=True)
+class EventOf(Expression):
+    """The derived operator ``event X``: true whenever X is present."""
+
+    expression: Expression
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def free_signals(self) -> Tuple[str, ...]:
+        return self.expression.free_signals()
+
+    def __str__(self) -> str:
+        return f"(event {self.expression})"
+
+
+@dataclass(frozen=True)
+class Cell(Expression):
+    """The derived operator ``X cell C init v``.
+
+    The result is present whenever ``X`` is present or ``C`` is true, and
+    holds the last value of ``X`` (or ``v`` before the first occurrence).
+    It desugars to a delay/default/when combination.
+    """
+
+    expression: Expression
+    condition: Expression
+    initial: Constant
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def free_signals(self) -> Tuple[str, ...]:
+        return self.expression.free_signals() + self.condition.free_signals()
+
+    def __str__(self) -> str:
+        return f"({self.expression} cell {self.condition} init {self.initial})"
+
+
+# ---------------------------------------------------------------------------
+# Statements (elementary processes)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Equation:
+    """A defining equation ``target := expression``."""
+
+    target: str
+    expression: Expression
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        return f"{self.target} := {self.expression}"
+
+
+@dataclass(frozen=True)
+class Synchro:
+    """The clock constraint ``synchro {e1, ..., en}``."""
+
+    expressions: Tuple[Expression, ...]
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(e) for e in self.expressions)
+        return f"synchro {{{inner}}}"
+
+
+Statement = Union[Equation, Synchro]
+
+
+# ---------------------------------------------------------------------------
+# Declarations and processes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SignalDeclaration:
+    """A typed signal declaration, e.g. ``boolean BRAKE``."""
+
+    name: str
+    type_name: str
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        return f"{self.type_name} {self.name}"
+
+
+@dataclass
+class Process:
+    """A SIGNAL process: interface, body and local declarations."""
+
+    name: str
+    inputs: List[SignalDeclaration] = field(default_factory=list)
+    outputs: List[SignalDeclaration] = field(default_factory=list)
+    locals: List[SignalDeclaration] = field(default_factory=list)
+    statements: List[Statement] = field(default_factory=list)
+
+    def declared_signals(self) -> List[SignalDeclaration]:
+        """All declarations, inputs then outputs then locals."""
+        return list(self.inputs) + list(self.outputs) + list(self.locals)
+
+    def declaration_of(self, name: str) -> Optional[SignalDeclaration]:
+        for declaration in self.declared_signals():
+            if declaration.name == name:
+                return declaration
+        return None
+
+    def input_names(self) -> List[str]:
+        return [d.name for d in self.inputs]
+
+    def output_names(self) -> List[str]:
+        return [d.name for d in self.outputs]
+
+    def local_names(self) -> List[str]:
+        return [d.name for d in self.locals]
+
+    def __str__(self) -> str:
+        lines = [f"process {self.name} ="]
+        lines.append("  ( ? " + "; ".join(str(d) for d in self.inputs) + ";")
+        lines.append("    ! " + "; ".join(str(d) for d in self.outputs) + "; )")
+        lines.append("  (| " + "\n   | ".join(str(s) for s in self.statements) + "\n   |)")
+        if self.locals:
+            lines.append("  where " + "; ".join(str(d) for d in self.locals) + ";")
+        lines.append("end;")
+        return "\n".join(lines)

@@ -1,0 +1,414 @@
+"""Desugaring of the SIGNAL surface language into kernel processes.
+
+The paper defines the clock calculus (Table 1) and the dependency graph
+(Table 2) on the *kernel* of SIGNAL: functional expressions, the delay
+``$``, ``when``, ``default`` and composition.  This module rewrites parsed
+processes into that kernel:
+
+* nested expressions are flattened by introducing fresh intermediate
+  signals;
+* the derived operators are expanded (``event X`` to a functional operator,
+  unary ``when C`` to ``C when C``, ``cell`` to its delay/default/synchro
+  expansion, deep delays ``$ n`` to chains of unit delays);
+* well-formedness is checked: every referenced signal is declared, every
+  non-input signal has exactly one definition, inputs are never defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import NameResolutionError, TypeError_
+from .ast import (
+    BinaryOp,
+    Cell,
+    Constant,
+    Default,
+    Delay,
+    Equation,
+    EventOf,
+    Expression,
+    Process,
+    SignalRef,
+    Synchro,
+    UnaryOp,
+    UnaryWhen,
+    When,
+)
+
+__all__ = [
+    "Literal",
+    "Operand",
+    "KernelFunction",
+    "KernelDelay",
+    "KernelWhen",
+    "KernelDefault",
+    "KernelSynchro",
+    "KernelProcess",
+    "KernelProgram",
+    "normalize",
+]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant operand of a kernel process (clock-neutral)."""
+
+    value: Union[bool, int, float]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+#: An operand of a kernel process: either a signal name or a literal constant.
+Operand = Union[str, Literal]
+
+
+def operand_signals(operands: Sequence[Operand]) -> Tuple[str, ...]:
+    """The signal names among a sequence of operands, in order."""
+    return tuple(op for op in operands if isinstance(op, str))
+
+
+@dataclass(frozen=True)
+class KernelFunction:
+    """``target := operator(operands...)`` -- a synchronous functional expression."""
+
+    target: str
+    operator: str
+    operands: Tuple[Operand, ...]
+
+    def __str__(self) -> str:
+        arguments = ", ".join(str(op) for op in self.operands)
+        return f"{self.target} := {self.operator}({arguments})"
+
+
+@dataclass(frozen=True)
+class KernelDelay:
+    """``target := source $ 1 init initial`` -- reference to the previous value."""
+
+    target: str
+    source: str
+    initial: Optional[Union[bool, int, float]] = None
+
+    def __str__(self) -> str:
+        init = f" init {self.initial}" if self.initial is not None else ""
+        return f"{self.target} := {self.source} $ 1{init}"
+
+
+@dataclass(frozen=True)
+class KernelWhen:
+    """``target := source when condition`` -- downsampling by a boolean signal."""
+
+    target: str
+    source: Operand
+    condition: str
+
+    def __str__(self) -> str:
+        return f"{self.target} := {self.source} when {self.condition}"
+
+
+@dataclass(frozen=True)
+class KernelDefault:
+    """``target := left default right`` -- deterministic merge, priority to ``left``."""
+
+    target: str
+    left: Operand
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.target} := {self.left} default {self.right}"
+
+
+@dataclass(frozen=True)
+class KernelSynchro:
+    """``synchro {signals...}`` -- the clocks of all signals are equal."""
+
+    signals: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return "synchro {" + ", ".join(self.signals) + "}"
+
+
+KernelProcess = Union[KernelFunction, KernelDelay, KernelWhen, KernelDefault, KernelSynchro]
+
+
+@dataclass
+class KernelProgram:
+    """A SIGNAL process in kernel form.
+
+    Attributes
+    ----------
+    name:
+        Name of the source process.
+    inputs, outputs, locals:
+        Signal names by role.  ``locals`` includes both user-declared local
+        signals and the fresh intermediates introduced by desugaring.
+    declared_types:
+        Map from signal name to its declared type name, or ``""`` when the
+        type must be inferred (fresh intermediates).
+    processes:
+        The list of kernel processes (the body, as a flat composition).
+    """
+
+    name: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    locals: List[str] = field(default_factory=list)
+    declared_types: Dict[str, str] = field(default_factory=dict)
+    processes: List[KernelProcess] = field(default_factory=list)
+
+    @property
+    def signals(self) -> List[str]:
+        return list(self.inputs) + list(self.outputs) + list(self.locals)
+
+    def defined_signals(self) -> List[str]:
+        """Signals that appear as the target of a defining kernel process."""
+        targets = []
+        for process in self.processes:
+            if not isinstance(process, KernelSynchro):
+                targets.append(process.target)
+        return targets
+
+    def definition_of(self, name: str) -> Optional[KernelProcess]:
+        for process in self.processes:
+            if not isinstance(process, KernelSynchro) and process.target == name:
+                return process
+        return None
+
+    def boolean_candidates(self) -> List[str]:
+        """Signals used as ``when`` conditions (they must be boolean)."""
+        conditions = []
+        for process in self.processes:
+            if isinstance(process, KernelWhen) and process.condition not in conditions:
+                conditions.append(process.condition)
+        return conditions
+
+    def __str__(self) -> str:
+        lines = [f"process {self.name} (kernel form)"]
+        lines.append("  inputs:  " + ", ".join(self.inputs))
+        lines.append("  outputs: " + ", ".join(self.outputs))
+        lines.append("  locals:  " + ", ".join(self.locals))
+        for process in self.processes:
+            lines.append("  | " + str(process))
+        return "\n".join(lines)
+
+
+class _Normalizer:
+    """Stateful helper performing the desugaring of one process."""
+
+    def __init__(self, process: Process):
+        self.process = process
+        self.program = KernelProgram(
+            name=process.name,
+            inputs=process.input_names(),
+            outputs=process.output_names(),
+            locals=process.local_names(),
+            declared_types={d.name: d.type_name for d in process.declared_signals()},
+        )
+        self._declared = set(self.program.signals)
+        self._fresh_counter = 0
+        self._check_unique_declarations()
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _check_unique_declarations(self) -> None:
+        seen = set()
+        for declaration in self.process.declared_signals():
+            if declaration.name in seen:
+                raise NameResolutionError(
+                    f"signal {declaration.name!r} declared more than once",
+                    declaration.location,
+                )
+            seen.add(declaration.name)
+
+    def _fresh(self, hint: str) -> str:
+        """Create a fresh local signal name that cannot clash with user names."""
+        while True:
+            self._fresh_counter += 1
+            name = f"{hint}_k{self._fresh_counter}"
+            if name not in self._declared:
+                break
+        self._declared.add(name)
+        self.program.locals.append(name)
+        self.program.declared_types[name] = ""
+        return name
+
+    def _check_reference(self, name: str, location) -> None:
+        if name not in self._declared:
+            raise NameResolutionError(f"reference to undeclared signal {name!r}", location)
+
+    def _emit(self, process: KernelProcess) -> None:
+        self.program.processes.append(process)
+
+    # -- expression compilation ------------------------------------------------
+    def _as_signal(self, operand: Operand, hint: str) -> str:
+        """Force an operand to be a signal, copying a literal into a fresh one."""
+        if isinstance(operand, str):
+            return operand
+        fresh = self._fresh(hint)
+        self._emit(KernelFunction(fresh, "id", (operand,)))
+        return fresh
+
+    def compile_expression(self, expression: Expression, target: Optional[str] = None) -> Operand:
+        """Compile ``expression``; if ``target`` is given, bind the result to it.
+
+        Returns the operand holding the value of the expression (the target
+        name, a fresh intermediate, a referenced signal or a literal).
+        """
+        if isinstance(expression, Constant):
+            if target is None:
+                return Literal(expression.value)
+            self._emit(KernelFunction(target, "id", (Literal(expression.value),)))
+            return target
+
+        if isinstance(expression, SignalRef):
+            self._check_reference(expression.name, expression.location)
+            if target is None:
+                return expression.name
+            self._emit(KernelFunction(target, "id", (expression.name,)))
+            return target
+
+        if isinstance(expression, (UnaryOp, BinaryOp)):
+            if isinstance(expression, UnaryOp):
+                operator = expression.operator
+                operand_expressions = [expression.operand]
+            else:
+                operator = expression.operator
+                operand_expressions = [expression.left, expression.right]
+            operands = tuple(self.compile_expression(e) for e in operand_expressions)
+            result = target if target is not None else self._fresh("f")
+            self._emit(KernelFunction(result, operator, operands))
+            return result
+
+        if isinstance(expression, EventOf):
+            operand = self.compile_expression(expression.expression)
+            source = self._as_signal(operand, "ev")
+            result = target if target is not None else self._fresh("ev")
+            self._emit(KernelFunction(result, "event", (source,)))
+            return result
+
+        if isinstance(expression, When):
+            source = self.compile_expression(expression.expression)
+            condition = self._compile_condition(expression.condition)
+            result = target if target is not None else self._fresh("w")
+            self._emit(KernelWhen(result, source, condition))
+            return result
+
+        if isinstance(expression, UnaryWhen):
+            # when C  ==  C when C
+            condition = self._compile_condition(expression.condition)
+            result = target if target is not None else self._fresh("uw")
+            self._emit(KernelWhen(result, condition, condition))
+            return result
+
+        if isinstance(expression, Default):
+            left = self.compile_expression(expression.left)
+            right = self.compile_expression(expression.right)
+            if isinstance(left, Literal) and isinstance(right, Literal):
+                raise TypeError_(
+                    "default of two constants has no determined clock", expression.location
+                )
+            result = target if target is not None else self._fresh("d")
+            self._emit(KernelDefault(result, left, right))
+            return result
+
+        if isinstance(expression, Delay):
+            operand = self.compile_expression(expression.expression)
+            source = self._as_signal(operand, "dl")
+            if expression.depth < 1:
+                raise TypeError_("delay depth must be at least 1", expression.location)
+            initial = expression.initial.value if expression.initial is not None else None
+            # A depth-n delay is a chain of n unit delays sharing the initial value.
+            current = source
+            for step in range(expression.depth):
+                is_last = step == expression.depth - 1
+                result = (
+                    target
+                    if (is_last and target is not None)
+                    else self._fresh("z")
+                )
+                self._emit(KernelDelay(result, current, initial))
+                current = result
+            return current
+
+        if isinstance(expression, Cell):
+            return self._compile_cell(expression, target)
+
+        raise TypeError_(f"unsupported expression {expression!r}")
+
+    def _compile_condition(self, expression: Expression) -> str:
+        """Compile an expression used as a ``when`` condition to a signal name."""
+        if isinstance(expression, Constant):
+            raise TypeError_("a constant cannot be used as a when-condition")
+        operand = self.compile_expression(expression)
+        return self._as_signal(operand, "c")
+
+    def _compile_cell(self, expression: Cell, target: Optional[str]) -> str:
+        """Expand ``X cell C init v``.
+
+        The expansion follows the SIGNAL reference::
+
+            Y := X default (Y $ 1 init v)
+            synchro { Y, (event X) default (when C) }
+        """
+        source = self._as_signal(self.compile_expression(expression.expression), "cx")
+        condition = self._compile_condition(expression.condition)
+        result = target if target is not None else self._fresh("cell")
+
+        previous = self._fresh("zcell")
+        self._emit(KernelDelay(previous, result, expression.initial.value))
+        self._emit(KernelDefault(result, source, previous))
+
+        source_event = self._fresh("ev")
+        self._emit(KernelFunction(source_event, "event", (source,)))
+        sampled = self._fresh("uw")
+        self._emit(KernelWhen(sampled, condition, condition))
+        merged = self._fresh("d")
+        self._emit(KernelDefault(merged, source_event, sampled))
+        self._emit(KernelSynchro((result, merged)))
+        return result
+
+    # -- statements -------------------------------------------------------------
+    def run(self) -> KernelProgram:
+        defined: Dict[str, bool] = {}
+        for statement in self.process.statements:
+            if isinstance(statement, Equation):
+                self._check_reference(statement.target, statement.location)
+                if statement.target in self.program.inputs:
+                    raise NameResolutionError(
+                        f"input signal {statement.target!r} cannot be defined",
+                        statement.location,
+                    )
+                if defined.get(statement.target):
+                    raise NameResolutionError(
+                        f"signal {statement.target!r} is defined more than once",
+                        statement.location,
+                    )
+                defined[statement.target] = True
+                self.compile_expression(statement.expression, target=statement.target)
+            elif isinstance(statement, Synchro):
+                names = []
+                for expression in statement.expressions:
+                    operand = self.compile_expression(expression)
+                    names.append(self._as_signal(operand, "sy"))
+                self._emit(KernelSynchro(tuple(names)))
+            else:  # pragma: no cover - parser only produces the two kinds
+                raise TypeError_(f"unsupported statement {statement!r}")
+
+        self._check_all_defined()
+        return self.program
+
+    def _check_all_defined(self) -> None:
+        defined = set(self.program.defined_signals())
+        for name in self.program.outputs + [
+            local for local in self.program.locals if local in set(self.process.local_names())
+        ]:
+            if name not in defined:
+                raise NameResolutionError(f"signal {name!r} has no defining equation")
+
+
+def normalize(process: Process) -> KernelProgram:
+    """Desugar a parsed :class:`~repro.lang.ast.Process` into kernel form."""
+    return _Normalizer(process).run()

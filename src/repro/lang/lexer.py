@@ -1,0 +1,180 @@
+"""Tokenizer for the SIGNAL surface syntax.
+
+The token stream is deliberately simple: keywords, identifiers, numeric and
+boolean literals, operators and punctuation.  Comments follow the SIGNAL
+convention of ``%`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+from ..errors import LexerError, SourceLocation
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+
+KEYWORDS = frozenset(
+    {
+        "process",
+        "end",
+        "where",
+        "when",
+        "default",
+        "init",
+        "event",
+        "cell",
+        "synchro",
+        "not",
+        "and",
+        "or",
+        "xor",
+        "modulo",
+        "true",
+        "false",
+        "boolean",
+        "integer",
+        "real",
+    }
+)
+
+# Multi-character operators must be listed before their prefixes.
+_OPERATORS = [
+    ":=",
+    "/=",
+    "<=",
+    ">=",
+    "(|",
+    "|)",
+    "(",
+    ")",
+    "{",
+    "}",
+    "|",
+    ";",
+    ",",
+    "?",
+    "!",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "$",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its kind, text, literal value and position."""
+
+    kind: str  # "keyword" | "identifier" | "integer" | "real" | "operator" | "eof"
+    text: str
+    location: SourceLocation
+    value: Optional[Union[int, float, bool]] = None
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_operator(self, symbol: str) -> bool:
+        return self.kind == "operator" and self.text == symbol
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(source: str, filename: str = "<signal>") -> List[Token]:
+    """Tokenize ``source`` into a list of tokens terminated by an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def location() -> SourceLocation:
+        return SourceLocation(line=line, column=column, filename=filename)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = source[index]
+
+        # Whitespace.
+        if char in " \t\r\n":
+            advance(1)
+            continue
+
+        # Comments: '%' to end of line.
+        if char == "%":
+            while index < length and source[index] != "\n":
+                advance(1)
+            continue
+
+        start_location = location()
+
+        # Identifiers and keywords.
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                advance(1)
+            text = source[start:index]
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                if lowered in ("true", "false"):
+                    tokens.append(
+                        Token("keyword", lowered, start_location, value=(lowered == "true"))
+                    )
+                else:
+                    tokens.append(Token("keyword", lowered, start_location))
+            else:
+                tokens.append(Token("identifier", text, start_location))
+            continue
+
+        # Numeric literals (integer or real).
+        if char.isdigit():
+            start = index
+            is_real = False
+            while index < length and source[index].isdigit():
+                advance(1)
+            if (
+                index + 1 < length
+                and source[index] == "."
+                and source[index + 1].isdigit()
+            ):
+                is_real = True
+                advance(1)
+                while index < length and source[index].isdigit():
+                    advance(1)
+            text = source[start:index]
+            if is_real:
+                tokens.append(Token("real", text, start_location, value=float(text)))
+            else:
+                tokens.append(Token("integer", text, start_location, value=int(text)))
+            continue
+
+        # Operators and punctuation.
+        matched = False
+        for operator in _OPERATORS:
+            if source.startswith(operator, index):
+                advance(len(operator))
+                tokens.append(Token("operator", operator, start_location))
+                matched = True
+                break
+        if matched:
+            continue
+
+        raise LexerError(f"unexpected character {char!r}", start_location)
+
+    tokens.append(Token("eof", "", location()))
+    return tokens

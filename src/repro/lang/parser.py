@@ -1,0 +1,366 @@
+"""Recursive-descent parser for the SIGNAL surface syntax.
+
+Grammar (informal)::
+
+    process      ::= "process" IDENT "=" interface body [ "where" decls ] "end" [";"]
+    interface    ::= "(" [ "?" decls ] [ "!" decls ] ")"
+    decls        ::= { type IDENT { "," IDENT } ";" }
+    body         ::= "(|" statement { "|" statement } "|)"
+    statement    ::= IDENT ":=" expr
+                   | "synchro" "{" expr { "," expr } "}"
+    expr         ::= default-expr
+    default-expr ::= when-expr { "default" when-expr }
+    when-expr    ::= "when" or-expr
+                   | or-expr { "when" or-expr }
+    or-expr      ::= and-expr { ("or" | "xor") and-expr }
+    and-expr     ::= not-expr { "and" not-expr }
+    not-expr     ::= "not" not-expr | rel-expr
+    rel-expr     ::= add-expr [ ("=" | "/=" | "<" | "<=" | ">" | ">=") add-expr ]
+    add-expr     ::= mul-expr { ("+" | "-") mul-expr }
+    mul-expr     ::= unary-expr { ("*" | "/" | "modulo") unary-expr }
+    unary-expr   ::= "-" unary-expr | postfix
+    postfix      ::= primary { "$" INT [ "init" constant ]
+                             | "cell" primary "init" constant }
+    primary      ::= constant | IDENT | "(" expr ")" | "event" primary
+
+Operator precedence follows the SIGNAL reference manual ordering used by the
+paper's examples: ``default`` binds loosest, then ``when``, then the boolean,
+relational and arithmetic operators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ParseError
+from .ast import (
+    BinaryOp,
+    Cell,
+    Constant,
+    Default,
+    Delay,
+    Equation,
+    EventOf,
+    Expression,
+    Process,
+    SignalDeclaration,
+    SignalRef,
+    Statement,
+    Synchro,
+    UnaryOp,
+    UnaryWhen,
+    When,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["parse_process", "parse_expression", "Parser"]
+
+_TYPE_NAMES = ("boolean", "integer", "real", "event")
+
+
+class Parser:
+    """A recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers -----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _expect_operator(self, symbol: str) -> Token:
+        if not self.current.is_operator(symbol):
+            raise ParseError(
+                f"expected {symbol!r} but found {self.current.text!r}",
+                self.current.location,
+            )
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise ParseError(
+                f"expected keyword {word!r} but found {self.current.text!r}",
+                self.current.location,
+            )
+        return self._advance()
+
+    def _expect_identifier(self) -> Token:
+        if self.current.kind != "identifier":
+            raise ParseError(
+                f"expected an identifier but found {self.current.text!r}",
+                self.current.location,
+            )
+        return self._advance()
+
+    def _accept_operator(self, symbol: str) -> bool:
+        if self.current.is_operator(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # -- declarations ---------------------------------------------------------
+    def _parse_declaration_group(self) -> List[SignalDeclaration]:
+        """Parse ``type IDENT {"," IDENT} ";"`` and return one declaration per name."""
+        type_token = self.current
+        if not any(type_token.is_keyword(name) for name in _TYPE_NAMES):
+            raise ParseError(
+                f"expected a type name but found {type_token.text!r}", type_token.location
+            )
+        self._advance()
+        declarations = []
+        name_token = self._expect_identifier()
+        declarations.append(
+            SignalDeclaration(name_token.text, type_token.text, name_token.location)
+        )
+        while self._accept_operator(","):
+            name_token = self._expect_identifier()
+            declarations.append(
+                SignalDeclaration(name_token.text, type_token.text, name_token.location)
+            )
+        self._expect_operator(";")
+        return declarations
+
+    def _parse_declarations(self) -> List[SignalDeclaration]:
+        declarations: List[SignalDeclaration] = []
+        while any(self.current.is_keyword(name) for name in _TYPE_NAMES):
+            declarations.extend(self._parse_declaration_group())
+        return declarations
+
+    # -- processes ---------------------------------------------------------------
+    def parse_process(self) -> Process:
+        self._expect_keyword("process")
+        name_token = self._expect_identifier()
+        self._expect_operator("=")
+
+        inputs: List[SignalDeclaration] = []
+        outputs: List[SignalDeclaration] = []
+        self._expect_operator("(")
+        if self._accept_operator("?"):
+            inputs = self._parse_declarations()
+        if self._accept_operator("!"):
+            outputs = self._parse_declarations()
+        self._expect_operator(")")
+
+        statements = self._parse_body()
+
+        locals_: List[SignalDeclaration] = []
+        if self._accept_keyword("where"):
+            locals_ = self._parse_declarations()
+
+        self._expect_keyword("end")
+        self._accept_operator(";")
+
+        return Process(
+            name=name_token.text,
+            inputs=inputs,
+            outputs=outputs,
+            locals=locals_,
+            statements=statements,
+        )
+
+    def _parse_body(self) -> List[Statement]:
+        self._expect_operator("(|")
+        statements: List[Statement] = []
+        # Allow an empty first slot: "(| | X := ... |)" is not legal SIGNAL,
+        # so we simply require one statement per "|"-separated slot.
+        statements.append(self._parse_statement())
+        while self._accept_operator("|"):
+            if self.current.is_operator("|)"):
+                break
+            statements.append(self._parse_statement())
+        self._expect_operator("|)")
+        return statements
+
+    def _parse_statement(self) -> Statement:
+        if self.current.is_keyword("synchro"):
+            return self._parse_synchro()
+        target = self._expect_identifier()
+        self._expect_operator(":=")
+        expression = self.parse_expression()
+        return Equation(target.text, expression, target.location)
+
+    def _parse_synchro(self) -> Synchro:
+        keyword = self._expect_keyword("synchro")
+        self._expect_operator("{")
+        expressions = [self.parse_expression()]
+        while self._accept_operator(","):
+            expressions.append(self.parse_expression())
+        self._expect_operator("}")
+        return Synchro(tuple(expressions), keyword.location)
+
+    # -- expressions -----------------------------------------------------------------
+    def parse_expression(self) -> Expression:
+        return self._parse_default()
+
+    def _parse_default(self) -> Expression:
+        left = self._parse_when()
+        while self.current.is_keyword("default"):
+            location = self._advance().location
+            right = self._parse_when()
+            left = Default(left, right, location)
+        return left
+
+    def _parse_when(self) -> Expression:
+        if self.current.is_keyword("when"):
+            location = self._advance().location
+            condition = self._parse_or()
+            return UnaryWhen(condition, location)
+        left = self._parse_or()
+        while self.current.is_keyword("when"):
+            location = self._advance().location
+            condition = self._parse_or()
+            left = When(left, condition, location)
+        return left
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self.current.is_keyword("or") or self.current.is_keyword("xor"):
+            operator = self._advance()
+            right = self._parse_and()
+            left = BinaryOp(operator.text, left, right, operator.location)
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self.current.is_keyword("and"):
+            operator = self._advance()
+            right = self._parse_not()
+            left = BinaryOp(operator.text, left, right, operator.location)
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self.current.is_keyword("not"):
+            location = self._advance().location
+            operand = self._parse_not()
+            return UnaryOp("not", operand, location)
+        return self._parse_relational()
+
+    def _parse_relational(self) -> Expression:
+        left = self._parse_additive()
+        for symbol in ("=", "/=", "<=", ">=", "<", ">"):
+            if self.current.is_operator(symbol):
+                operator = self._advance()
+                right = self._parse_additive()
+                return BinaryOp(operator.text, left, right, operator.location)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while self.current.is_operator("+") or self.current.is_operator("-"):
+            operator = self._advance()
+            right = self._parse_multiplicative()
+            left = BinaryOp(operator.text, left, right, operator.location)
+        return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while (
+            self.current.is_operator("*")
+            or self.current.is_operator("/")
+            or self.current.is_keyword("modulo")
+        ):
+            operator = self._advance()
+            right = self._parse_unary()
+            left = BinaryOp(operator.text, left, right, operator.location)
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self.current.is_operator("-"):
+            location = self._advance().location
+            operand = self._parse_unary()
+            return UnaryOp("-", operand, location)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expression:
+        expression = self._parse_primary()
+        while True:
+            if self.current.is_operator("$"):
+                location = self._advance().location
+                depth = 1
+                if self.current.kind == "integer":
+                    depth = int(self.current.value)  # type: ignore[arg-type]
+                    self._advance()
+                initial: Optional[Constant] = None
+                if self._accept_keyword("init"):
+                    initial = self._parse_constant()
+                expression = Delay(expression, depth, initial, location)
+            elif self.current.is_keyword("cell"):
+                location = self._advance().location
+                condition = self._parse_primary()
+                self._expect_keyword("init")
+                initial = self._parse_constant()
+                expression = Cell(expression, condition, initial, location)
+            else:
+                return expression
+
+    def _parse_constant(self) -> Constant:
+        token = self.current
+        if token.kind in ("integer", "real"):
+            self._advance()
+            return Constant(token.value, token.location)
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self._advance()
+            return Constant(bool(token.value), token.location)
+        if token.is_operator("-"):
+            self._advance()
+            inner = self._parse_constant()
+            return Constant(-inner.value, token.location)  # type: ignore[operator]
+        raise ParseError(f"expected a constant but found {token.text!r}", token.location)
+
+    def _parse_primary(self) -> Expression:
+        token = self.current
+        if token.kind in ("integer", "real"):
+            self._advance()
+            return Constant(token.value, token.location)
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self._advance()
+            return Constant(bool(token.value), token.location)
+        if token.is_keyword("event"):
+            self._advance()
+            operand = self._parse_primary()
+            return EventOf(operand, token.location)
+        if token.kind == "identifier":
+            self._advance()
+            return SignalRef(token.text, token.location)
+        if token.is_operator("("):
+            self._advance()
+            expression = self.parse_expression()
+            self._expect_operator(")")
+            return expression
+        raise ParseError(f"unexpected token {token.text!r} in expression", token.location)
+
+    def expect_eof(self) -> None:
+        if self.current.kind != "eof":
+            raise ParseError(
+                f"unexpected trailing input {self.current.text!r}", self.current.location
+            )
+
+
+def parse_process(source: str, filename: str = "<signal>") -> Process:
+    """Parse a complete ``process ... end`` definition from source text."""
+    parser = Parser(tokenize(source, filename))
+    process = parser.parse_process()
+    parser.expect_eof()
+    return process
+
+
+def parse_expression(source: str, filename: str = "<signal>") -> Expression:
+    """Parse a single SIGNAL expression (used by tests and the REPL-style API)."""
+    parser = Parser(tokenize(source, filename))
+    expression = parser.parse_expression()
+    parser.expect_eof()
+    return expression

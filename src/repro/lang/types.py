@@ -1,0 +1,202 @@
+"""Signal types and type inference over kernel programs.
+
+SIGNAL signals are typed streams.  The reproduction supports the types used
+by the paper's examples: ``event`` (pure clock signals, always carrying
+``true``), ``boolean``, ``integer`` and ``real``.  Type inference runs on the
+kernel form (after desugaring) and propagates declared types through the
+kernel operators to the compiler-introduced intermediate signals.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Optional, Union
+
+from ..errors import TypeError_
+
+__all__ = ["SignalType", "infer_types", "unify", "type_of_constant", "default_value"]
+
+
+class SignalType(enum.Enum):
+    """The scalar type of a signal's values."""
+
+    EVENT = "event"
+    BOOLEAN = "boolean"
+    INTEGER = "integer"
+    REAL = "real"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_boolean_like(self) -> bool:
+        return self in (SignalType.EVENT, SignalType.BOOLEAN)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (SignalType.INTEGER, SignalType.REAL)
+
+
+_NAME_TO_TYPE = {t.value: t for t in SignalType}
+
+
+def parse_type_name(name: str) -> SignalType:
+    """Map a declaration keyword (``boolean``, ``integer``, ...) to a type."""
+    try:
+        return _NAME_TO_TYPE[name]
+    except KeyError:
+        raise TypeError_(f"unknown type name {name!r}") from None
+
+
+def type_of_constant(value: Union[bool, int, float]) -> SignalType:
+    """The intrinsic type of a literal constant."""
+    if isinstance(value, bool):
+        return SignalType.BOOLEAN
+    if isinstance(value, int):
+        return SignalType.INTEGER
+    if isinstance(value, float):
+        return SignalType.REAL
+    raise TypeError_(f"unsupported constant {value!r}")
+
+
+def default_value(signal_type: SignalType) -> Union[bool, int, float]:
+    """The value used to initialize an uninitialized delay of the given type."""
+    if signal_type.is_boolean_like:
+        return False
+    if signal_type is SignalType.INTEGER:
+        return 0
+    return 0.0
+
+
+def unify(left: Optional[SignalType], right: Optional[SignalType]) -> Optional[SignalType]:
+    """Least upper bound of two (possibly unknown) types.
+
+    ``event`` is treated as a boolean that is constantly true, and integers
+    promote to reals, following the SIGNAL reference semantics.  Returns
+    ``None`` when both inputs are unknown; raises when the types clash.
+    """
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left == right:
+        return left
+    boolean_like = {SignalType.EVENT, SignalType.BOOLEAN}
+    if left in boolean_like and right in boolean_like:
+        return SignalType.BOOLEAN
+    numeric = {SignalType.INTEGER, SignalType.REAL}
+    if left in numeric and right in numeric:
+        return SignalType.REAL
+    raise TypeError_(f"cannot unify types {left} and {right}")
+
+
+_BOOLEAN_OPERATORS = {"and", "or", "xor", "not"}
+_RELATIONAL_OPERATORS = {"=", "/=", "<", "<=", ">", ">="}
+_ARITHMETIC_OPERATORS = {"+", "-", "*", "/", "modulo"}
+
+
+def infer_types(program: "KernelProgram") -> Dict[str, SignalType]:  # noqa: F821
+    """Infer a type for every signal of a kernel program.
+
+    Declared types seed the analysis; the kernel equations propagate them to
+    the intermediate signals introduced by desugaring.  The result maps every
+    signal name to its type.  Signals whose type cannot be determined (e.g. a
+    completely unconstrained local) are rejected.
+    """
+    # Imported here to avoid a circular module dependency: kernel.py imports
+    # nothing from this module at import time.
+    from .kernel import (
+        KernelDefault,
+        KernelDelay,
+        KernelFunction,
+        KernelSynchro,
+        KernelWhen,
+        Literal,
+    )
+
+    types: Dict[str, Optional[SignalType]] = {
+        name: parse_type_name(type_name) if type_name else None
+        for name, type_name in program.declared_types.items()
+    }
+
+    def get(name: str) -> Optional[SignalType]:
+        return types.get(name)
+
+    def put(name: str, new_type: Optional[SignalType]) -> bool:
+        if new_type is None:
+            return False
+        merged = unify(types.get(name), new_type)
+        if merged != types.get(name):
+            types[name] = merged
+            return True
+        return False
+
+    def operand_type(operand) -> Optional[SignalType]:
+        if isinstance(operand, Literal):
+            return type_of_constant(operand.value)
+        return get(operand)
+
+    changed = True
+    iterations = 0
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > 10 * (len(types) + len(program.processes) + 1):
+            raise TypeError_("type inference did not converge")
+        for process in program.processes:
+            if isinstance(process, KernelFunction):
+                operator = process.operator
+                argument_types = [operand_type(op) for op in process.operands]
+                if operator in _BOOLEAN_OPERATORS:
+                    changed |= put(process.target, SignalType.BOOLEAN)
+                    for operand in process.operands:
+                        if not isinstance(operand, Literal):
+                            changed |= put(operand, SignalType.BOOLEAN)
+                elif operator in _RELATIONAL_OPERATORS:
+                    changed |= put(process.target, SignalType.BOOLEAN)
+                elif operator in _ARITHMETIC_OPERATORS:
+                    known = [t for t in argument_types if t is not None]
+                    merged: Optional[SignalType] = None
+                    for t in known:
+                        merged = unify(merged, t)
+                    changed |= put(process.target, merged)
+                    for operand in process.operands:
+                        if not isinstance(operand, Literal) and merged is not None:
+                            changed |= put(operand, merged)
+                elif operator == "event":
+                    changed |= put(process.target, SignalType.EVENT)
+                elif operator == "id":
+                    changed |= put(process.target, argument_types[0])
+                    source = process.operands[0]
+                    if not isinstance(source, Literal):
+                        changed |= put(source, get(process.target))
+                else:
+                    raise TypeError_(f"unknown kernel operator {operator!r}")
+            elif isinstance(process, KernelDelay):
+                changed |= put(process.target, get(process.source))
+                changed |= put(process.source, get(process.target))
+            elif isinstance(process, KernelWhen):
+                changed |= put(process.condition, SignalType.BOOLEAN)
+                changed |= put(process.target, operand_type(process.source))
+                if not isinstance(process.source, Literal):
+                    changed |= put(process.source, get(process.target))
+            elif isinstance(process, KernelDefault):
+                merged = unify(
+                    unify(get(process.target), operand_type(process.left)),
+                    operand_type(process.right),
+                )
+                changed |= put(process.target, merged)
+                if not isinstance(process.left, Literal):
+                    changed |= put(process.left, merged)
+                if not isinstance(process.right, Literal):
+                    changed |= put(process.right, merged)
+            elif isinstance(process, KernelSynchro):
+                # synchro constrains clocks only, not value types.
+                continue
+
+    resolved: Dict[str, SignalType] = {}
+    for name, signal_type in types.items():
+        if signal_type is None:
+            raise TypeError_(f"could not infer a type for signal {name!r}")
+        resolved[name] = signal_type
+    return resolved

@@ -1,0 +1,41 @@
+"""PROCESS_ALARM, the running example of the paper (Section 3.3, Figure 5).
+
+Two versions are provided:
+
+* :data:`SIMPLE_ALARM_SOURCE` -- the first, fully synchronous version where
+  all the sensors are sampled at every reaction
+  (``ALARM := BRAKE and LIMIT_REACHED and not STOP_OK``);
+* :data:`ALARM_SOURCE` -- the refined version of Figure 5, where a sensor is
+  sampled only when its value is needed: ``STOP_OK`` and ``LIMIT_REACHED``
+  during a braking action, ``BRAKE`` otherwise.  The compilation of this
+  version exhibits the free clock ``Ĉ`` discussed in Section 3.3 (the pace
+  at which the sensors are sampled is left to the environment).
+"""
+
+SIMPLE_ALARM_SOURCE = """
+process SIMPLE_ALARM =
+  ( ? boolean BRAKE, STOP_OK, LIMIT_REACHED;
+    ! boolean ALARM; )
+  (| ALARM := BRAKE and LIMIT_REACHED and (not STOP_OK)
+   |)
+end;
+"""
+
+ALARM_SOURCE = """
+process ALARM =
+  ( ? boolean BRAKE, STOP_OK, LIMIT_REACHED;
+    ! boolean ALARM; )
+  (| BRAKING_STATE := BRAKING_NEXT_STATE $ 1 init false    % memorize the next state
+   | BRAKING_NEXT_STATE :=
+       (true when BRAKE) default                            % enter the braking state
+       (false when STOP_OK) default                         % leave the braking state
+       BRAKING_STATE                                        % stay in the previous state
+   | synchro { when BRAKING_STATE, STOP_OK, LIMIT_REACHED } % sample in braking state
+   | synchro { when (not BRAKING_STATE), BRAKE }            % sample when not braking
+   | ALARM := LIMIT_REACHED and (not STOP_OK)               % brake need not be checked
+   |)
+  where boolean BRAKING_STATE, BRAKING_NEXT_STATE;
+end;
+"""
+
+__all__ = ["ALARM_SOURCE", "SIMPLE_ALARM_SOURCE"]

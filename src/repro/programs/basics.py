@@ -1,0 +1,44 @@
+"""Small pedagogical SIGNAL processes used in examples and tests."""
+
+#: A resettable counter: ``N`` counts reactions and restarts at 0 on RESET.
+COUNTER_SOURCE = """
+process COUNT =
+  ( ? boolean RESET;
+    ! integer N; )
+  (| N := (0 when RESET) default (ZN + 1)
+   | ZN := N $ 1 init 0
+   | synchro { N, RESET }
+   |)
+  where integer ZN;
+end;
+"""
+
+#: An accumulator over an input stream, with a sampled emission of the total.
+ACCUMULATOR_SOURCE = """
+process ACCUMULATOR =
+  ( ? integer X; boolean EMIT;
+    ! integer TOTAL; )
+  (| SUM := ZSUM + X
+   | ZSUM := SUM $ 1 init 0
+   | TOTAL := SUM when EMIT
+   | synchro { X, EMIT }
+   |)
+  where integer SUM, ZSUM;
+end;
+"""
+
+#: A watchdog: raises ALARM when no LIFE_SIGN arrived for LIMIT consecutive ticks.
+WATCHDOG_SOURCE = """
+process WATCHDOG =
+  ( ? boolean LIFE_SIGN; integer LIMIT;
+    ! boolean ALARM; )
+  (| COUNT := (0 when LIFE_SIGN) default (ZCOUNT + 1)
+   | ZCOUNT := COUNT $ 1 init 0
+   | ALARM := COUNT >= LIMIT
+   | synchro { LIFE_SIGN, LIMIT, COUNT }
+   |)
+  where integer COUNT, ZCOUNT;
+end;
+"""
+
+__all__ = ["COUNTER_SOURCE", "ACCUMULATOR_SOURCE", "WATCHDOG_SOURCE"]

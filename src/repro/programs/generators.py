@@ -1,0 +1,165 @@
+"""Parametric generator of hierarchical control programs.
+
+The Figure 13 evaluation uses seven real SIGNAL applications (a stopwatch, a
+digital watch, an alarm controller, a chronometer, a supervisor, a pacemaker
+and a robot controller) whose sources were never published.  What matters
+for the comparison of equation-system representations is the *shape and
+size* of the boolean system: hierarchies of sampled modes, state machines
+driving which sensors are polled, counters and filters living on sampled
+clocks.  This generator produces programs with exactly that structure:
+
+* a tree of *modules*; each module is a mode automaton in the style of
+  PROCESS_ALARM (a boolean state remembered with ``$``, entered with a
+  START button polled while the mode is off, left with a STOP button polled
+  while the mode is on);
+* each non-root module's automaton is clocked by the instants at which its
+  parent mode is *on*, which creates the deep partition hierarchies (watch
+  mode -> submode -> setting position) that the arborescent representation
+  is designed for;
+* each module samples a configurable number of boolean sensors and one
+  integer measurement while its mode is on, maintains a counter and a
+  first-order filter on that sampled clock, and raises an alarm output.
+
+The number of boolean variables of the resulting clock system grows linearly
+with the number of modules, so each Figure 13 row can be matched in size by
+choosing the module count (see :mod:`repro.programs.suite`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["ControlProgramSpec", "generate_control_program"]
+
+
+@dataclass(frozen=True)
+class ControlProgramSpec:
+    """Parameters of a generated hierarchical control program.
+
+    Attributes
+    ----------
+    name:
+        Process name (uppercase identifier).
+    modules:
+        Number of mode-automaton modules (at least 1).
+    branching:
+        Number of child modules attached under each module (the module tree
+        is filled breadth-first).
+    sensors:
+        Number of boolean sensors sampled by each module while its mode is on.
+    with_filter:
+        Whether each module maintains an integer filter on a sampled
+        measurement (adds numeric data-path signals).
+    with_counter:
+        Whether each module maintains a resettable counter on its sampled
+        clock.
+    """
+
+    name: str
+    modules: int = 4
+    branching: int = 2
+    sensors: int = 3
+    with_filter: bool = True
+    with_counter: bool = True
+
+    def parent_of(self, module: int) -> Optional[int]:
+        if module == 0:
+            return None
+        return (module - 1) // self.branching
+
+
+def _module_equations(spec: ControlProgramSpec, module: int) -> List[str]:
+    """The equations of one module."""
+    m = module
+    parent = spec.parent_of(module)
+    lines: List[str] = []
+
+    # Mode automaton (the PROCESS_ALARM pattern).
+    lines.append(f"MODE_{m} := NMODE_{m} $ 1 init false")
+    lines.append(
+        f"NMODE_{m} := (true when START_{m}) default (false when STOP_{m}) default MODE_{m}"
+    )
+    if parent is not None:
+        # The child automaton only reacts while the parent mode is on.
+        lines.append(f"synchro {{ MODE_{m}, when MODE_{parent} }}")
+    # Buttons and sensors are polled according to the mode.
+    lines.append(f"synchro {{ when (not MODE_{m}), START_{m} }}")
+    on_signals = [f"STOP_{m}"] + [f"S_{m}_{j}" for j in range(spec.sensors)]
+    if spec.with_filter:
+        on_signals.append(f"V_{m}")
+    lines.append("synchro { when MODE_" + str(m) + ", " + ", ".join(on_signals) + " }")
+
+    # Alarm logic over the sampled sensors.
+    if spec.sensors >= 2:
+        alarm_expr = f"S_{m}_0 and (not S_{m}_1)"
+        for j in range(2, spec.sensors):
+            alarm_expr = f"({alarm_expr}) or S_{m}_{j}"
+    elif spec.sensors == 1:
+        alarm_expr = f"S_{m}_0"
+    else:
+        alarm_expr = f"STOP_{m}"
+    if spec.with_counter:
+        alarm_expr = f"({alarm_expr}) or (CNT_{m} >= 100)"
+    lines.append(f"ALR_{m} := {alarm_expr}")
+
+    # Resettable counter on the sampled clock.
+    if spec.with_counter:
+        reset = f"S_{m}_0" if spec.sensors >= 1 else f"STOP_{m}"
+        lines.append(f"CNT_{m} := (0 when {reset}) default (ZCNT_{m} + 1)")
+        lines.append(f"ZCNT_{m} := CNT_{m} $ 1 init 0")
+        lines.append(f"synchro {{ CNT_{m}, {reset} }}")
+
+    # First-order filter on the sampled measurement.
+    if spec.with_filter:
+        lines.append(f"FLT_{m} := (V_{m} + ZFLT_{m}) / 2")
+        lines.append(f"ZFLT_{m} := FLT_{m} $ 1 init 0")
+
+    return lines
+
+
+def generate_control_program(spec: ControlProgramSpec) -> str:
+    """Generate the SIGNAL source text of a hierarchical control program."""
+    if spec.modules < 1:
+        raise ValueError("a control program needs at least one module")
+
+    input_booleans: List[str] = []
+    input_integers: List[str] = []
+    output_booleans: List[str] = []
+    output_integers: List[str] = []
+    local_booleans: List[str] = []
+    local_integers: List[str] = []
+    equations: List[str] = []
+
+    for module in range(spec.modules):
+        input_booleans.append(f"START_{module}")
+        input_booleans.append(f"STOP_{module}")
+        input_booleans.extend(f"S_{module}_{j}" for j in range(spec.sensors))
+        if spec.with_filter:
+            input_integers.append(f"V_{module}")
+        output_booleans.append(f"ALR_{module}")
+        if spec.with_filter:
+            output_integers.append(f"FLT_{module}")
+        local_booleans.extend([f"MODE_{module}", f"NMODE_{module}"])
+        if spec.with_counter:
+            local_integers.extend([f"CNT_{module}", f"ZCNT_{module}"])
+        if spec.with_filter:
+            local_integers.append(f"ZFLT_{module}")
+        equations.extend(_module_equations(spec, module))
+
+    def declaration_block(booleans: List[str], integers: List[str]) -> List[str]:
+        block = []
+        if booleans:
+            block.append("boolean " + ", ".join(booleans) + ";")
+        if integers:
+            block.append("integer " + ", ".join(integers) + ";")
+        return block
+
+    lines: List[str] = [f"process {spec.name} ="]
+    lines.append("  ( ? " + " ".join(declaration_block(input_booleans, input_integers)))
+    lines.append("    ! " + " ".join(declaration_block(output_booleans, output_integers)) + " )")
+    lines.append("  (| " + "\n   | ".join(equations))
+    lines.append("   |)")
+    lines.append("  where " + " ".join(declaration_block(local_booleans, local_integers)))
+    lines.append("end;")
+    return "\n".join(lines)

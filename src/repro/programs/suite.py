@@ -1,0 +1,119 @@
+"""The seven benchmark programs of Figure 13.
+
+The paper reports, for each application, the number of boolean variables of
+its clock system and the cost of three representations.  The original
+sources are INRIA-internal; each program is rebuilt here with the
+hierarchical control-program generator, sized so that its clock system has a
+variable count close to the one reported in the paper (the exact counts
+obtained with this reproduction are recorded in EXPERIMENTS.md).
+
+======================  ==================  ============================
+program                 paper variables     generator parameters
+======================  ==================  ============================
+STOPWATCH               1318                20 modules, branching 3
+WATCH                   785                 12 modules, branching 3
+ALARM                   465                 7 modules, branching 2
+CHRONO                  282                 4 modules, branching 2
+SUPERVISOR              202                 3 modules, branching 3
+PACE_MAKER              96                  2 modules, branching 1
+ROBOT                   99                  2 modules, branching 2
+======================  ==================  ============================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .generators import ControlProgramSpec, generate_control_program
+
+__all__ = ["BENCHMARK_PROGRAMS", "PAPER_FIGURE_13", "benchmark_names", "benchmark_source", "paper_reference"]
+
+
+#: Generator parameters per Figure 13 program, ordered as in the paper.
+BENCHMARK_PROGRAMS: Dict[str, ControlProgramSpec] = {
+    "STOPWATCH": ControlProgramSpec("STOPWATCH", modules=20, branching=3, sensors=3),
+    "WATCH": ControlProgramSpec("WATCH", modules=12, branching=3, sensors=3),
+    "ALARM": ControlProgramSpec("ALARM", modules=7, branching=2, sensors=3),
+    "CHRONO": ControlProgramSpec("CHRONO", modules=4, branching=2, sensors=4),
+    "SUPERVISOR": ControlProgramSpec("SUPERVISOR", modules=3, branching=3, sensors=4),
+    "PACE_MAKER": ControlProgramSpec(
+        "PACE_MAKER", modules=2, branching=1, sensors=1, with_filter=False
+    ),
+    "ROBOT": ControlProgramSpec("ROBOT", modules=2, branching=2, sensors=1),
+}
+
+
+#: The measurements reported in Figure 13 of the paper (SPARC 10, 64 MB).
+#: ``None`` marks the ``unable-cpu`` / ``unable-mem`` entries.
+PAPER_FIGURE_13: Dict[str, Dict[str, object]] = {
+    "STOPWATCH": {
+        "variables": 1318,
+        "tbdd_nodes": 61893,
+        "tbdd_seconds": 27.07,
+        "characteristic": "unable-cpu",
+        "characteristic_after": "unable-cpu",
+    },
+    "WATCH": {
+        "variables": 785,
+        "tbdd_nodes": 34753,
+        "tbdd_seconds": 14.67,
+        "characteristic": "unable-cpu",
+        "characteristic_after": "unable-cpu",
+    },
+    "ALARM": {
+        "variables": 465,
+        "tbdd_nodes": 3428,
+        "tbdd_seconds": 2.19,
+        "characteristic": "unable-mem",
+        "characteristic_after": "unable-cpu",
+    },
+    "CHRONO": {
+        "variables": 282,
+        "tbdd_nodes": 1548,
+        "tbdd_seconds": 0.92,
+        "characteristic": "unable-mem",
+        "characteristic_after": (422975, 409.09),
+    },
+    "SUPERVISOR": {
+        "variables": 202,
+        "tbdd_nodes": 425,
+        "tbdd_seconds": 0.45,
+        "characteristic": "unable-cpu",
+        "characteristic_after": (226472, 146.32),
+    },
+    "PACE_MAKER": {
+        "variables": 96,
+        "tbdd_nodes": 50,
+        "tbdd_seconds": 0.10,
+        "characteristic": (53610, 160.50),
+        "characteristic_after": (582, 0.36),
+    },
+    "ROBOT": {
+        "variables": 99,
+        "tbdd_nodes": 36,
+        "tbdd_seconds": 0.27,
+        "characteristic": "unable-cpu",
+        "characteristic_after": (415, 0.31),
+    },
+}
+
+
+def benchmark_names() -> List[str]:
+    """The Figure 13 program names, largest first (paper order)."""
+    return list(BENCHMARK_PROGRAMS.keys())
+
+
+def benchmark_source(name: str) -> str:
+    """The SIGNAL source of one Figure 13 program."""
+    try:
+        spec = BENCHMARK_PROGRAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark program {name!r}; known: {', '.join(BENCHMARK_PROGRAMS)}"
+        ) from None
+    return generate_control_program(spec)
+
+
+def paper_reference(name: str) -> Dict[str, object]:
+    """The Figure 13 numbers reported by the paper for one program."""
+    return dict(PAPER_FIGURE_13[name])

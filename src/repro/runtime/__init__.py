@@ -1,0 +1,25 @@
+"""Runtime support: traces, the reference interpreter and the reactive executor.
+
+* :mod:`repro.runtime.trace` -- the trace model (presence/absence and values
+  per instant) and ASCII timing diagrams in the style of Figures 1-4;
+* :mod:`repro.runtime.interpreter` -- an executable form of the kernel's
+  stream semantics, used as the *reference* against which generated code is
+  checked;
+* :mod:`repro.runtime.executor` -- drives a compiled step function with an
+  input oracle and records execution traces.
+"""
+
+from .trace import ABSENT, Trace, timing_diagram
+from .interpreter import KernelInterpreter
+from .executor import ExecutionTrace, ReactiveExecutor, StepRecord, random_oracle
+
+__all__ = [
+    "ABSENT",
+    "Trace",
+    "timing_diagram",
+    "KernelInterpreter",
+    "ExecutionTrace",
+    "ReactiveExecutor",
+    "StepRecord",
+    "random_oracle",
+]

@@ -1,0 +1,381 @@
+"""Reference interpreter of kernel processes (executable stream semantics).
+
+The interpreter implements the denotational semantics of the five kernel
+operators directly, *without* using the clock calculus: at every instant it
+propagates presence/absence and values through the equations until a fixed
+point is reached.  It is deliberately independent from the compiler pipeline
+so that generated code can be checked against it (differential testing), and
+it reproduces the timing diagrams of Figures 1-4.
+
+Presence is three-valued during the fixpoint (present / absent / unknown).
+The propagation rules follow the kernel semantics:
+
+* ``Y := f(X1..Xn)``     -- all signals present together, absent together;
+* ``ZX := X $ 1``        -- ``ZX`` and ``X`` present together; the value of
+  ``ZX`` is the register (previous value of ``X``);
+* ``X := U when C``      -- ``X`` present iff ``U`` present, ``C`` present
+  and ``C`` true;
+* ``X := U default V``   -- ``X`` present iff ``U`` or ``V`` present; value
+  of ``U`` if present, else value of ``V``;
+* ``synchro {...}``      -- all present together, absent together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import SimulationError
+from ..lang.kernel import (
+    KernelDefault,
+    KernelDelay,
+    KernelFunction,
+    KernelProgram,
+    KernelSynchro,
+    KernelWhen,
+    Literal,
+    Operand,
+)
+from ..lang.types import SignalType, default_value
+from .trace import ABSENT, Trace
+
+__all__ = ["KernelInterpreter"]
+
+
+_PRESENT = "present"
+_ABSENT = "absent"
+_UNKNOWN = "unknown"
+
+
+class KernelInterpreter:
+    """Step-by-step interpreter of a kernel program."""
+
+    def __init__(self, program: KernelProgram, types: Mapping[str, SignalType]):
+        self.program = program
+        self.types = dict(types)
+        # One register per delay, keyed by the delay target.
+        self._registers: Dict[str, object] = {}
+        self._delays: List[KernelDelay] = []
+        for process in program.processes:
+            if isinstance(process, KernelDelay):
+                initial = process.initial
+                if initial is None:
+                    initial = default_value(self.types[process.target])
+                self._registers[process.target] = initial
+                self._delays.append(process)
+        self.instant_index = 0
+
+    # -- state ------------------------------------------------------------
+    def reset(self) -> None:
+        for process in self._delays:
+            initial = process.initial
+            if initial is None:
+                initial = default_value(self.types[process.target])
+            self._registers[process.target] = initial
+        self.instant_index = 0
+
+    def register_value(self, delayed_signal: str) -> object:
+        return self._registers[delayed_signal]
+
+    # -- operator evaluation -----------------------------------------------------
+    @staticmethod
+    def _apply(operator: str, values: Sequence[object], result_type: SignalType) -> object:
+        if operator == "id":
+            return values[0]
+        if operator == "event":
+            return True
+        if operator == "not":
+            return not values[0]
+        if operator == "-" and len(values) == 1:
+            return -values[0]  # type: ignore[operator]
+        if operator == "and":
+            return bool(values[0]) and bool(values[1])
+        if operator == "or":
+            return bool(values[0]) or bool(values[1])
+        if operator == "xor":
+            return bool(values[0]) != bool(values[1])
+        if operator == "=":
+            return values[0] == values[1]
+        if operator == "/=":
+            return values[0] != values[1]
+        if operator == "<":
+            return values[0] < values[1]  # type: ignore[operator]
+        if operator == "<=":
+            return values[0] <= values[1]  # type: ignore[operator]
+        if operator == ">":
+            return values[0] > values[1]  # type: ignore[operator]
+        if operator == ">=":
+            return values[0] >= values[1]  # type: ignore[operator]
+        if operator == "+":
+            return values[0] + values[1]  # type: ignore[operator]
+        if operator == "-":
+            return values[0] - values[1]  # type: ignore[operator]
+        if operator == "*":
+            return values[0] * values[1]  # type: ignore[operator]
+        if operator == "/":
+            if result_type is SignalType.INTEGER:
+                return values[0] // values[1]  # type: ignore[operator]
+            return values[0] / values[1]  # type: ignore[operator]
+        if operator == "modulo":
+            return values[0] % values[1]  # type: ignore[operator]
+        raise SimulationError(f"unknown operator {operator!r}")
+
+    # -- one reaction -----------------------------------------------------------------
+    def step(
+        self,
+        inputs: Optional[Mapping[str, object]] = None,
+        present: Iterable[str] = (),
+        absent: Iterable[str] = (),
+        unknown_as_absent: bool = False,
+    ) -> Dict[str, object]:
+        """Execute one instant.
+
+        ``inputs`` maps *present* input signals to their value; input signals
+        not mentioned are absent.  ``present``/``absent`` assert the presence
+        status of additional signals (used when the environment, rather than
+        an input value, fixes a clock -- e.g. the free master clock of the
+        ALARM example).  Returns the mapping of all present signals to their
+        value at this instant.
+        """
+        inputs = dict(inputs or {})
+        status: Dict[str, str] = {name: _UNKNOWN for name in self.program.signals}
+        values: Dict[str, object] = {}
+
+        def set_status(name: str, new_status: str) -> bool:
+            if status[name] == new_status:
+                return False
+            if status[name] != _UNKNOWN:
+                raise SimulationError(
+                    f"clock contradiction on signal {name!r} at instant {self.instant_index}: "
+                    f"{status[name]} vs {new_status}"
+                )
+            status[name] = new_status
+            return True
+
+        def set_value(name: str, value: object) -> bool:
+            changed = set_status(name, _PRESENT)
+            if name not in values:
+                values[name] = value
+                return True
+            if values[name] != value:
+                raise SimulationError(
+                    f"conflicting values for signal {name!r} at instant {self.instant_index}"
+                )
+            return changed
+
+        # Seed with the inputs and the explicit presence assertions.
+        for name in self.program.inputs:
+            if name in inputs:
+                set_value(name, inputs[name])
+            elif name not in present:
+                set_status(name, _ABSENT)
+        for name, value in inputs.items():
+            if name not in self.program.inputs:
+                raise SimulationError(f"{name!r} is not an input signal")
+        for name in present:
+            set_status(name, _PRESENT)
+        for name in absent:
+            set_status(name, _ABSENT)
+
+        def operand_ready(operand: Operand) -> bool:
+            return isinstance(operand, Literal) or operand in values
+
+        def operand_value(operand: Operand) -> object:
+            if isinstance(operand, Literal):
+                return operand.value
+            return values[operand]
+
+        # Fixpoint propagation.
+        changed = True
+        iterations = 0
+        limit = 10 * (len(self.program.signals) + len(self.program.processes) + 1)
+        while changed:
+            changed = False
+            iterations += 1
+            if iterations > limit:  # pragma: no cover - safety net
+                raise SimulationError("interpreter did not reach a fixpoint")
+            for process in self.program.processes:
+                if isinstance(process, KernelFunction):
+                    changed |= self._step_function(process, status, values, set_status, set_value, operand_ready, operand_value)
+                elif isinstance(process, KernelDelay):
+                    changed |= self._step_delay(process, status, set_status, set_value)
+                elif isinstance(process, KernelWhen):
+                    changed |= self._step_when(process, status, values, set_status, set_value, operand_ready, operand_value)
+                elif isinstance(process, KernelDefault):
+                    changed |= self._step_default(process, status, values, set_status, set_value, operand_ready, operand_value)
+                elif isinstance(process, KernelSynchro):
+                    changed |= self._step_synchro(process, status, set_status)
+
+        undetermined = [name for name, state in status.items() if state == _UNKNOWN]
+        if undetermined:
+            if unknown_as_absent:
+                for name in undetermined:
+                    status[name] = _ABSENT
+            else:
+                raise SimulationError(
+                    "presence of signals "
+                    + ", ".join(sorted(undetermined))
+                    + f" is not determined by the environment at instant {self.instant_index}"
+                )
+
+        # Check that every present signal received a value.
+        for name, state in status.items():
+            if state == _PRESENT and name not in values:
+                raise SimulationError(
+                    f"signal {name!r} is present but has no value at instant {self.instant_index}"
+                )
+
+        # Advance the delay registers for the sources that were present.
+        for process in self._delays:
+            if status.get(process.source) == _PRESENT:
+                self._registers[process.target] = values[process.source]
+
+        self.instant_index += 1
+        return dict(values)
+
+    # -- per-operator propagation -----------------------------------------------------
+    def _check_group(self, group, statuses) -> None:
+        if _PRESENT in statuses and _ABSENT in statuses:
+            raise SimulationError(
+                "synchronization violated among signals "
+                + ", ".join(sorted(group))
+                + f" at instant {self.instant_index}"
+            )
+
+    def _step_function(self, process, status, values, set_status, set_value, operand_ready, operand_value) -> bool:
+        changed = False
+        names = [op for op in process.operands if not isinstance(op, Literal)]
+        group = names + [process.target]
+        statuses = {status[name] for name in group}
+        self._check_group(group, statuses)
+        if _PRESENT in statuses:
+            for name in group:
+                if status[name] == _UNKNOWN:
+                    changed |= set_status(name, _PRESENT)
+        if _ABSENT in statuses:
+            for name in group:
+                if status[name] == _UNKNOWN:
+                    changed |= set_status(name, _ABSENT)
+        if status[process.target] != _ABSENT and all(operand_ready(op) for op in process.operands):
+            result = self._apply(
+                process.operator,
+                [operand_value(op) for op in process.operands],
+                self.types[process.target],
+            )
+            if process.target not in values:
+                changed |= set_value(process.target, result)
+        return changed
+
+    def _step_delay(self, process, status, set_status, set_value) -> bool:
+        changed = False
+        pair = (process.target, process.source)
+        statuses = {status[name] for name in pair}
+        self._check_group(pair, statuses)
+        if _PRESENT in statuses:
+            for name in pair:
+                if status[name] == _UNKNOWN:
+                    changed |= set_status(name, _PRESENT)
+        if _ABSENT in statuses:
+            for name in pair:
+                if status[name] == _UNKNOWN:
+                    changed |= set_status(name, _ABSENT)
+        if status[process.target] == _PRESENT:
+            changed |= set_value(process.target, self._registers[process.target])
+        return changed
+
+    def _step_when(self, process, status, values, set_status, set_value, operand_ready, operand_value) -> bool:
+        changed = False
+        target, condition = process.target, process.condition
+        source = process.source
+        source_is_signal = not isinstance(source, Literal)
+
+        condition_true: Optional[bool] = None
+        if status[condition] == _ABSENT:
+            condition_true = False
+        elif condition in values:
+            condition_true = bool(values[condition])
+
+        source_present: Optional[bool] = None
+        if not source_is_signal:
+            source_present = True
+        elif status[source] == _PRESENT:
+            source_present = True
+        elif status[source] == _ABSENT:
+            source_present = False
+
+        if condition_true is False or source_present is False:
+            if status[target] == _UNKNOWN:
+                changed |= set_status(target, _ABSENT)
+        if condition_true is True and source_present is True:
+            if status[target] == _UNKNOWN:
+                changed |= set_status(target, _PRESENT)
+            if operand_ready(source) and target not in values:
+                changed |= set_value(target, operand_value(source))
+
+        # Reverse propagation: if the target is known present, then the source
+        # is present and the condition is present and true.
+        if status[target] == _PRESENT:
+            if source_is_signal and status[source] == _UNKNOWN:
+                changed |= set_status(source, _PRESENT)
+            if status[condition] == _UNKNOWN:
+                changed |= set_status(condition, _PRESENT)
+        return changed
+
+    def _step_default(self, process, status, values, set_status, set_value, operand_ready, operand_value) -> bool:
+        changed = False
+        target = process.target
+        left, right = process.left, process.right
+        left_is_signal = not isinstance(left, Literal)
+        right_is_signal = not isinstance(right, Literal)
+
+        left_status = status[left] if left_is_signal else _PRESENT
+        right_status = status[right] if right_is_signal else _PRESENT
+
+        if left_status == _PRESENT or right_status == _PRESENT:
+            if status[target] == _UNKNOWN:
+                changed |= set_status(target, _PRESENT)
+        if left_status == _ABSENT and right_status == _ABSENT:
+            if status[target] == _UNKNOWN:
+                changed |= set_status(target, _ABSENT)
+        if status[target] == _ABSENT:
+            if left_is_signal and status[left] == _UNKNOWN:
+                changed |= set_status(left, _ABSENT)
+            if right_is_signal and status[right] == _UNKNOWN:
+                changed |= set_status(right, _ABSENT)
+
+        if status[target] != _ABSENT and target not in values:
+            if left_status == _PRESENT and operand_ready(left):
+                changed |= set_value(target, operand_value(left))
+            elif left_status == _ABSENT and right_status == _PRESENT and operand_ready(right):
+                changed |= set_value(target, operand_value(right))
+        return changed
+
+    def _step_synchro(self, process, status, set_status) -> bool:
+        changed = False
+        statuses = {status[name] for name in process.signals}
+        self._check_group(process.signals, statuses)
+        if _PRESENT in statuses:
+            for name in process.signals:
+                if status[name] == _UNKNOWN:
+                    changed |= set_status(name, _PRESENT)
+        if _ABSENT in statuses:
+            for name in process.signals:
+                if status[name] == _UNKNOWN:
+                    changed |= set_status(name, _ABSENT)
+        return changed
+
+    # -- convenience --------------------------------------------------------------------
+    def run(
+        self,
+        input_trace: Iterable[Mapping[str, object]],
+        present: Iterable[Iterable[str]] = (),
+        unknown_as_absent: bool = False,
+    ) -> Trace:
+        """Run one instant per element of ``input_trace`` and collect a trace."""
+        presence_list = list(present)
+        result = Trace()
+        for index, instant in enumerate(input_trace):
+            asserted = presence_list[index] if index < len(presence_list) else ()
+            result.append(
+                self.step(instant, present=asserted, unknown_as_absent=unknown_as_absent)
+            )
+        return result

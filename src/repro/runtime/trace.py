@@ -1,0 +1,136 @@
+"""Traces of synchronized signals.
+
+A *trace* records, for a finite prefix of instants, which signals are
+present and with which value.  Absence is represented by the dedicated
+:data:`ABSENT` sentinel so that ``None``/``False`` remain valid signal
+values.  The module also renders ASCII timing diagrams in the style of the
+paper's Figures 1-4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["ABSENT", "Absent", "Trace", "timing_diagram"]
+
+
+class Absent:
+    """Singleton marking the absence of a signal at an instant."""
+
+    _instance: Optional["Absent"] = None
+
+    def __new__(cls) -> "Absent":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ABSENT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The unique absence marker.
+ABSENT = Absent()
+
+
+class Trace:
+    """A finite trace: one mapping of present signals to values per instant."""
+
+    def __init__(self, instants: Optional[Iterable[Mapping[str, object]]] = None):
+        self.instants: List[Dict[str, object]] = [dict(i) for i in (instants or [])]
+
+    # -- construction ------------------------------------------------------
+    def append(self, instant: Mapping[str, object]) -> None:
+        self.instants.append(dict(instant))
+
+    @classmethod
+    def from_columns(cls, columns: Mapping[str, Sequence[object]]) -> "Trace":
+        """Build a trace from per-signal value sequences (``ABSENT`` for holes)."""
+        length = max((len(v) for v in columns.values()), default=0)
+        trace = cls()
+        for index in range(length):
+            instant: Dict[str, object] = {}
+            for name, values in columns.items():
+                if index < len(values) and values[index] is not ABSENT:
+                    instant[name] = values[index]
+            trace.append(instant)
+        return trace
+
+    # -- queries ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instants)
+
+    def __getitem__(self, index: int) -> Dict[str, object]:
+        return self.instants[index]
+
+    def __iter__(self):
+        return iter(self.instants)
+
+    def signals(self) -> List[str]:
+        names: List[str] = []
+        for instant in self.instants:
+            for name in instant:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def column(self, signal: str) -> List[object]:
+        """The sequence of values of a signal, with ``ABSENT`` holes."""
+        return [instant.get(signal, ABSENT) for instant in self.instants]
+
+    def values(self, signal: str) -> List[object]:
+        """The sequence of *present* values of a signal (its flow)."""
+        return [instant[signal] for instant in self.instants if signal in instant]
+
+    def presence(self, signal: str) -> List[bool]:
+        return [signal in instant for instant in self.instants]
+
+    def is_synchronous(self, first: str, second: str) -> bool:
+        """Whether two signals are present at exactly the same instants."""
+        return self.presence(first) == self.presence(second)
+
+    def restrict(self, signals: Iterable[str]) -> "Trace":
+        keep = set(signals)
+        return Trace(
+            {name: value for name, value in instant.items() if name in keep}
+            for instant in self.instants
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.instants == other.instants
+
+    def __repr__(self) -> str:
+        return f"Trace({len(self.instants)} instants, signals={self.signals()})"
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "t" if value else "f"
+    return str(value)
+
+
+def timing_diagram(trace: Trace, signals: Optional[Sequence[str]] = None) -> str:
+    """Render a trace as an ASCII timing diagram (Figures 1-4 style).
+
+    Each signal is one row; absent instants are shown as ``.``.
+    """
+    names = list(signals) if signals is not None else trace.signals()
+    if not names:
+        return "(empty trace)"
+    cells: Dict[str, List[str]] = {}
+    for name in names:
+        cells[name] = [
+            _format_value(instant[name]) if name in instant else "."
+            for instant in trace.instants
+        ]
+    width = max((len(c) for row in cells.values() for c in row), default=1)
+    name_width = max(len(n) for n in names)
+    lines = []
+    for name in names:
+        row = " ".join(c.rjust(width) for c in cells[name])
+        lines.append(f"{name.rjust(name_width)} : {row}")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Shared fixtures: compiled versions of the example programs."""
+
+import pytest
+
+from repro import compile_source
+from repro.programs import (
+    ACCUMULATOR_SOURCE,
+    ALARM_SOURCE,
+    COUNTER_SOURCE,
+    SIMPLE_ALARM_SOURCE,
+    WATCHDOG_SOURCE,
+)
+
+
+@pytest.fixture(scope="session")
+def alarm_result():
+    """The PROCESS_ALARM of Figure 5, fully compiled (both code styles)."""
+    return compile_source(ALARM_SOURCE, build_flat=True)
+
+
+@pytest.fixture(scope="session")
+def simple_alarm_result():
+    return compile_source(SIMPLE_ALARM_SOURCE, build_flat=True)
+
+
+@pytest.fixture(scope="session")
+def counter_result():
+    return compile_source(COUNTER_SOURCE, build_flat=True)
+
+
+@pytest.fixture(scope="session")
+def accumulator_result():
+    return compile_source(ACCUMULATOR_SOURCE, build_flat=True)
+
+
+@pytest.fixture(scope="session")
+def watchdog_result():
+    return compile_source(WATCHDOG_SOURCE, build_flat=True)
+
+
+@pytest.fixture()
+def counter_step(counter_result):
+    """A fresh counter step instance for tests that mutate state."""
+    result = compile_source(COUNTER_SOURCE)
+    return result.executable

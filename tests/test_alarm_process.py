@@ -1,0 +1,175 @@
+"""The PROCESS_ALARM analysis of Section 3.3 and Figure 7, end to end."""
+
+import pytest
+
+from repro.clocks.algebra import CondFalse, CondTrue, SignalClock
+from repro.clocks.resolution import FreeDefinition, PartitionDefinition
+from repro.runtime import ReactiveExecutor, random_oracle
+
+
+class TestClockAnalysis:
+    """The equations (1)-(6) of Section 3.3 and their resolution."""
+
+    def test_resolution_succeeds(self, alarm_result):
+        assert alarm_result.hierarchy.is_resolved
+
+    def test_single_master_clock(self, alarm_result):
+        """The free variable exhibited by the compilation is Ĉ (the state clock)."""
+        hierarchy = alarm_result.hierarchy
+        free = hierarchy.free_classes()
+        assert len(free) == 1
+        master = free[0]
+        assert "BRAKING_STATE" in master.signals
+        assert "BRAKING_NEXT_STATE" in master.signals  # equation (1): Ĉ = Ĉ'
+
+    def test_equation_3_sensors_sampled_in_braking_state(self, alarm_result):
+        """[C] = Ĉ1 = Ĉ2: STOP_OK and LIMIT_REACHED live at [BRAKING_STATE]."""
+        hierarchy = alarm_result.hierarchy
+        sampling = hierarchy.encode(CondTrue("BRAKING_STATE"))
+        assert hierarchy.encode(SignalClock("STOP_OK")) == sampling
+        assert hierarchy.encode(SignalClock("LIMIT_REACHED")) == sampling
+
+    def test_equation_4_brake_sampled_outside_braking_state(self, alarm_result):
+        """[¬C] = D̂: BRAKE lives at [¬BRAKING_STATE]."""
+        hierarchy = alarm_result.hierarchy
+        assert hierarchy.encode(SignalClock("BRAKE")) == hierarchy.encode(
+            CondFalse("BRAKING_STATE")
+        )
+
+    def test_equation_5_alarm_synchronous_with_sensors(self, alarm_result):
+        hierarchy = alarm_result.hierarchy
+        assert hierarchy.are_synchronous("ALARM", "STOP_OK")
+        assert hierarchy.are_synchronous("ALARM", "LIMIT_REACHED")
+        assert not hierarchy.are_synchronous("ALARM", "BRAKE")
+
+    def test_equation_6_is_discharged_by_rewriting(self, alarm_result):
+        """Ĉ = [D] ∨ [C1] ∨ Ĉ reduces to Ĉ = Ĉ (no unresolved constraint)."""
+        assert alarm_result.hierarchy.unresolved == []
+
+    def test_sensor_clocks_are_disjoint(self, alarm_result):
+        hierarchy = alarm_result.hierarchy
+        both = hierarchy.encode(SignalClock("BRAKE")) & hierarchy.encode(
+            SignalClock("STOP_OK")
+        )
+        assert both.is_false
+
+    def test_sensor_clocks_cover_the_master(self, alarm_result):
+        hierarchy = alarm_result.hierarchy
+        union = hierarchy.encode(SignalClock("BRAKE")) | hierarchy.encode(
+            SignalClock("STOP_OK")
+        )
+        assert union == hierarchy.encode(SignalClock("BRAKING_STATE"))
+
+
+class TestFigure7Tree:
+    """The hierarchical partitioning of Figure 7."""
+
+    def test_single_tree(self, alarm_result):
+        assert alarm_result.hierarchy.forest.tree_count() == 1
+
+    def test_root_is_the_master_clock(self, alarm_result):
+        hierarchy = alarm_result.hierarchy
+        root = hierarchy.forest.roots[0]
+        assert isinstance(root.clock_class.definition, FreeDefinition)
+        assert "BRAKING_STATE" in root.clock_class.signals
+
+    def test_braking_partitions_are_children_of_the_root(self, alarm_result):
+        hierarchy = alarm_result.hierarchy
+        root = hierarchy.forest.roots[0]
+        on_class = hierarchy.class_of_atom(CondTrue("BRAKING_STATE"))
+        off_class = hierarchy.class_of_atom(CondFalse("BRAKING_STATE"))
+        assert on_class.node in root.children
+        assert off_class.node in root.children
+
+    def test_sensor_partitions_nested_under_the_right_branch(self, alarm_result):
+        hierarchy = alarm_result.hierarchy
+        on_node = hierarchy.class_of_atom(CondTrue("BRAKING_STATE")).node
+        off_node = hierarchy.class_of_atom(CondFalse("BRAKING_STATE")).node
+        stop_ok_true = hierarchy.class_of_atom(CondTrue("STOP_OK")).node
+        brake_true = hierarchy.class_of_atom(CondTrue("BRAKE")).node
+        assert on_node.is_ancestor_of(stop_ok_true)
+        assert off_node.is_ancestor_of(brake_true)
+        assert not on_node.is_ancestor_of(brake_true)
+
+    def test_every_node_is_included_in_its_parent(self, alarm_result):
+        hierarchy = alarm_result.hierarchy
+        for node in hierarchy.forest.iter_nodes():
+            if node.parent is not None:
+                assert node.clock_class.bdd.implies(node.parent.clock_class.bdd)
+
+    def test_alarm_partitions_present(self, alarm_result):
+        """Figure 7 also partitions the boolean output C3 = ALARM."""
+        hierarchy = alarm_result.hierarchy
+        alarm_true = hierarchy.class_of_atom(CondTrue("ALARM"))
+        on_node = hierarchy.class_of_atom(CondTrue("BRAKING_STATE")).node
+        assert alarm_true.node is not None
+        assert on_node.is_ancestor_of(alarm_true.node)
+
+
+class TestGeneratedBehaviour:
+    """The compiled ALARM behaves like its informal specification."""
+
+    def _drive(self, alarm_result, scripted):
+        """Run the compiled process, scripting input values by name."""
+        process = alarm_result.executable
+        process.reset()
+        outputs = []
+        for script in scripted:
+            observe = {}
+            result = process.step({}, oracle=lambda name: script[name], observe=observe)
+            outputs.append((dict(observe), dict(result)))
+        return outputs
+
+    def test_alarm_raised_when_limit_reached_without_stop(self, alarm_result):
+        steps = self._drive(
+            alarm_result,
+            [
+                {"BRAKE": True},                                   # start braking
+                {"STOP_OK": False, "LIMIT_REACHED": True},          # not stopped, limit passed
+            ],
+        )
+        assert steps[1][1]["ALARM"] is True
+
+    def test_no_alarm_when_stopped_in_time(self, alarm_result):
+        steps = self._drive(
+            alarm_result,
+            [
+                {"BRAKE": True},
+                {"STOP_OK": True, "LIMIT_REACHED": False},
+            ],
+        )
+        assert steps[1][1]["ALARM"] is False
+
+    def test_brake_only_sampled_outside_braking_state(self, alarm_result):
+        steps = self._drive(
+            alarm_result,
+            [
+                {"BRAKE": False},
+                {"BRAKE": True},
+                {"STOP_OK": False, "LIMIT_REACHED": False},
+            ],
+        )
+        observed_0 = steps[0][0]
+        observed_2 = steps[2][0]
+        assert "BRAKE" in observed_0 and "STOP_OK" not in observed_0
+        assert "BRAKE" not in observed_2 and "STOP_OK" in observed_2
+
+    def test_leaving_braking_state_resumes_brake_sampling(self, alarm_result):
+        steps = self._drive(
+            alarm_result,
+            [
+                {"BRAKE": True},
+                {"STOP_OK": True, "LIMIT_REACHED": False},   # stop -> leave braking state
+                {"BRAKE": False},                             # brake polled again
+            ],
+        )
+        assert "BRAKE" in steps[2][0]
+
+    def test_flat_and_hierarchical_agree(self, alarm_result):
+        alarm_result.executable.reset()
+        oracle = random_oracle(alarm_result.types, seed=7)
+        nested_trace = ReactiveExecutor(alarm_result.executable).run(40, oracle)
+        oracle = random_oracle(alarm_result.types, seed=7)
+        alarm_result.executable_flat.reset()
+        flat_trace = ReactiveExecutor(alarm_result.executable_flat).run(40, oracle)
+        assert [s.observations for s in nested_trace] == [s.observations for s in flat_trace]

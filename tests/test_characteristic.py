@@ -1,0 +1,142 @@
+"""Tests for the characteristic-function baselines (Figure 13 representations 2 and 3)."""
+
+import pytest
+
+from repro.clocks.characteristic import (
+    build_characteristic_after_tree,
+    build_characteristic_function,
+    solution_count,
+)
+from repro.clocks.equations import extract_clock_system
+from repro.clocks.resolution import resolve
+from repro.lang.kernel import normalize
+from repro.lang.parser import parse_process
+from repro.lang.types import infer_types
+from repro.programs import ALARM_SOURCE, COUNTER_SOURCE
+
+
+def analysis_of(source):
+    program = normalize(parse_process(source))
+    types = infer_types(program)
+    system = extract_clock_system(program, types)
+    hierarchy = resolve(system)
+    return system, hierarchy
+
+
+SAMPLER = """
+process SAMPLER =
+  ( ? integer A; boolean C;
+    ! integer X; )
+  (| X := A when C
+   | synchro { A, C }
+   |)
+end;
+"""
+
+
+class TestFlatCharacteristicFunction:
+    def test_small_system_completes(self):
+        system, _ = analysis_of(SAMPLER)
+        result = build_characteristic_function(system)
+        assert result.completed
+        assert result.nodes > 0
+        assert result.bdd is not None
+
+    def test_characteristic_enforces_table1(self):
+        """The characteristic function rules out configurations violating Table 1."""
+        system, _ = analysis_of(SAMPLER)
+        result = build_characteristic_function(system)
+        manager = result.manager
+        bdd = result.bdd
+
+        def level(name):
+            return manager.level_of(name)
+
+        # X present requires C present and true ([C]).
+        violating = bdd.restrict({level("x_^X"): True, level("x_[C]"): False})
+        assert violating.is_false
+        # A and C synchronous: A present and C absent is excluded.
+        violating = bdd.restrict({level("x_^A"): True, level("x_^C"): False})
+        assert violating.is_false
+
+    def test_partition_constraints_enforced(self):
+        system, _ = analysis_of(SAMPLER)
+        result = build_characteristic_function(system)
+        manager = result.manager
+        bdd = result.bdd
+        both = bdd.restrict(
+            {manager.level_of("x_[C]"): True, manager.level_of("x_[~C]"): True}
+        )
+        assert both.is_false
+
+    def test_solution_count_positive(self):
+        system, _ = analysis_of(SAMPLER)
+        result = build_characteristic_function(system)
+        count = solution_count(result)
+        assert count >= 2  # at least the all-absent and one active configuration
+
+    def test_node_budget_produces_unable_mem(self):
+        system, _ = analysis_of(ALARM_SOURCE)
+        result = build_characteristic_function(system, max_nodes=20)
+        assert result.status == "unable-mem"
+        assert not result.completed
+        assert result.bdd is None
+        assert result.cell() == "unable-mem"
+
+    def test_time_budget_produces_unable_cpu(self):
+        system, _ = analysis_of(ALARM_SOURCE)
+        result = build_characteristic_function(system, time_limit=0.0)
+        assert result.status == "unable-cpu"
+
+    def test_solution_count_requires_completion(self):
+        system, _ = analysis_of(ALARM_SOURCE)
+        result = build_characteristic_function(system, max_nodes=20)
+        with pytest.raises(ValueError):
+            solution_count(result)
+
+
+class TestCharacteristicAfterTree:
+    def test_small_system_completes(self):
+        _, hierarchy = analysis_of(SAMPLER)
+        result = build_characteristic_after_tree(hierarchy)
+        assert result.completed
+        assert result.nodes > 0
+
+    def test_fewer_variables_than_flat_representation(self):
+        """Triangularization eliminates equivalent variables (the paper's point)."""
+        system, hierarchy = analysis_of(ALARM_SOURCE)
+        flat = build_characteristic_function(system, max_nodes=500_000, time_limit=30.0)
+        after = build_characteristic_after_tree(hierarchy, max_nodes=500_000, time_limit=30.0)
+        assert after.variables < flat.variables
+
+    def test_alarm_after_tree_is_small(self):
+        _, hierarchy = analysis_of(ALARM_SOURCE)
+        result = build_characteristic_after_tree(hierarchy)
+        assert result.completed
+        # The triangularized ALARM system is tiny (the paper's flat version
+        # needed hundreds of thousands of nodes and still failed).
+        assert result.nodes < 500
+
+    def test_counter_after_tree(self):
+        _, hierarchy = analysis_of(COUNTER_SOURCE)
+        result = build_characteristic_after_tree(hierarchy)
+        assert result.completed
+
+    def test_free_clocks_are_unconstrained(self):
+        _, hierarchy = analysis_of(SAMPLER)
+        result = build_characteristic_after_tree(hierarchy)
+        master = hierarchy.master_class()
+        variable_level = result.manager.level_of(f"k_{master.id}")
+        # Both values of the master clock variable admit solutions.
+        assert not result.bdd.restrict({variable_level: True}).is_false
+        assert not result.bdd.restrict({variable_level: False}).is_false
+
+    def test_node_budget_applies(self):
+        _, hierarchy = analysis_of(ALARM_SOURCE)
+        result = build_characteristic_after_tree(hierarchy, max_nodes=5)
+        assert result.status == "unable-mem"
+
+    def test_cell_rendering_for_completed_results(self):
+        _, hierarchy = analysis_of(SAMPLER)
+        result = build_characteristic_after_tree(hierarchy)
+        assert "nodes" in result.cell()

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.programs import ALARM_SOURCE, COUNTER_SOURCE
+
+
+@pytest.fixture()
+def counter_file(tmp_path):
+    path = tmp_path / "count.sig"
+    path.write_text(COUNTER_SOURCE)
+    return str(path)
+
+
+@pytest.fixture()
+def alarm_file(tmp_path):
+    path = tmp_path / "alarm.sig"
+    path.write_text(ALARM_SOURCE)
+    return str(path)
+
+
+class TestEmit:
+    def test_default_emits_tree_and_free_clocks(self, counter_file, capsys):
+        assert main([counter_file]) == 0
+        output = capsys.readouterr().out
+        assert "^N" in output
+        assert "free clocks:" in output
+
+    def test_emit_clocks(self, counter_file, capsys):
+        assert main([counter_file, "--emit", "clocks"]) == 0
+        output = capsys.readouterr().out
+        assert "clock system of COUNT" in output
+        assert "^ZN = ^N" in output
+
+    def test_emit_kernel(self, counter_file, capsys):
+        assert main([counter_file, "--emit", "kernel"]) == 0
+        assert "kernel form" in capsys.readouterr().out
+
+    def test_emit_python(self, counter_file, capsys):
+        assert main([counter_file, "--emit", "python"]) == 0
+        assert "class COUNT_step" in capsys.readouterr().out
+
+    def test_emit_c_flat(self, counter_file, capsys):
+        assert main([counter_file, "--emit", "c", "--flat"]) == 0
+        output = capsys.readouterr().out
+        assert "void COUNT_step(void)" in output
+        assert "/* style: flat */" in output
+
+    def test_emit_stats_is_json(self, counter_file, capsys):
+        assert main([counter_file, "--emit", "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["free_clocks"] == 1
+        assert stats["unresolved"] == 0
+
+    def test_stdin_input(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(COUNTER_SOURCE))
+        assert main(["-"]) == 0
+        assert "^N" in capsys.readouterr().out
+
+
+class TestSimulationAndErrors:
+    def test_simulate_prints_timing_diagram(self, alarm_file, capsys):
+        assert main([alarm_file, "--simulate", "5", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "simulation (5 reactions" in output
+        assert "BRAKING_STATE" in output
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["/nonexistent/program.sig"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_compile_error_reports_and_fails(self, tmp_path, capsys):
+        path = tmp_path / "broken.sig"
+        path.write_text(
+            "process P = ( ? integer A; ! integer X, Y; ) (| X := Y + A | Y := X + A |) end;"
+        )
+        assert main([str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_error_reports_and_fails(self, tmp_path, capsys):
+        path = tmp_path / "syntax.sig"
+        path.write_text("process P = (| |) end")
+        assert main([str(path)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,141 @@
+"""Tests for Table 1: from SIGNAL operators to boolean clock equations."""
+
+import pytest
+
+from repro.clocks.algebra import (
+    CondFalse,
+    CondTrue,
+    Join,
+    Meet,
+    NULL_CLOCK,
+    SignalClock,
+    clock_atoms,
+    clock_signals,
+    join_all,
+    meet_all,
+)
+from repro.clocks.equations import extract_clock_system
+from repro.lang.kernel import normalize
+from repro.lang.parser import parse_process
+from repro.lang.types import infer_types
+from repro.programs import ALARM_SOURCE
+
+
+def system_of(source):
+    program = normalize(parse_process(source))
+    types = infer_types(program)
+    return program, extract_clock_system(program, types)
+
+
+def equation_strings(system):
+    return [str(e) for e in system.operator_equations()]
+
+
+class TestClockAlgebra:
+    def test_atom_rendering(self):
+        assert str(SignalClock("X")) == "^X"
+        assert str(CondTrue("C")) == "[C]"
+        assert str(CondFalse("C")) == "[~C]"
+        assert str(NULL_CLOCK) == "O"
+
+    def test_operator_sugar(self):
+        expression = SignalClock("A") & CondTrue("C")
+        assert isinstance(expression, Meet)
+        union = SignalClock("A") | SignalClock("B")
+        assert isinstance(union, Join)
+        difference = SignalClock("A") - SignalClock("B")
+        assert clock_atoms(difference) == (SignalClock("A"), SignalClock("B"))
+
+    def test_clock_atoms_deduplicates(self):
+        expression = Join(SignalClock("A"), Meet(SignalClock("A"), CondTrue("C")))
+        assert clock_atoms(expression) == (SignalClock("A"), CondTrue("C"))
+
+    def test_clock_signals(self):
+        expression = Meet(SignalClock("A"), CondFalse("B"))
+        assert clock_signals(expression) == frozenset({"A", "B"})
+
+    def test_meet_all_and_join_all(self):
+        clocks = (SignalClock("A"), SignalClock("B"), SignalClock("C"))
+        assert str(meet_all(clocks)) == "((^A ^ ^B) ^ ^C)"
+        assert str(join_all(clocks)) == "((^A v ^B) v ^C)"
+        with pytest.raises(ValueError):
+            meet_all(())
+
+
+class TestTable1:
+    def test_function_equalizes_clocks(self):
+        _, system = system_of(
+            "process P = ( ? integer A, B; ! integer C; ) (| C := A + B |) end;"
+        )
+        rendered = equation_strings(system)
+        assert "^C = ^A" in rendered
+        assert "^C = ^B" in rendered
+
+    def test_delay_equalizes_clocks(self):
+        _, system = system_of(
+            "process P = ( ? integer X; ! integer ZX; ) (| ZX := X $ 1 init 0 |) end;"
+        )
+        assert "^ZX = ^X" in equation_strings(system)
+
+    def test_when_intersects_with_sampling(self):
+        _, system = system_of(
+            "process P = ( ? integer U; boolean C; ! integer X; ) (| X := U when C |) end;"
+        )
+        assert "^X = (^U ^ [C])" in equation_strings(system)
+
+    def test_when_of_constant_is_pure_sampling(self):
+        _, system = system_of(
+            "process P = ( ? boolean C; ! integer X; ) (| X := 1 when C |) end;"
+        )
+        assert "^X = [C]" in equation_strings(system)
+
+    def test_default_takes_union(self):
+        _, system = system_of(
+            "process P = ( ? integer U, V; ! integer X; ) (| X := U default V |) end;"
+        )
+        assert "^X = (^U v ^V)" in equation_strings(system)
+
+    def test_synchro_equalizes(self):
+        _, system = system_of(
+            "process P = ( ? integer A, B, C; ! integer D; )"
+            " (| D := A | synchro {A, B, C} |) end;"
+        )
+        rendered = equation_strings(system)
+        assert "^A = ^B" in rendered
+        assert "^A = ^C" in rendered
+
+    def test_partition_constraints_for_booleans(self):
+        _, system = system_of(
+            "process P = ( ? integer U; boolean C; ! integer X; ) (| X := U when C |) end;"
+        )
+        partitions = [str(e) for e in system.partition_constraints()]
+        assert "([C] v [~C]) = ^C" in partitions
+        assert "([C] ^ [~C]) = O" in partitions
+
+    def test_partition_constraints_for_every_boolean_signal(self):
+        _, system = system_of(ALARM_SOURCE)
+        partitioned = {
+            str(e.left.left.signal)
+            for e in system.partition_constraints()
+            if isinstance(e.left, Join)
+        }
+        # Every boolean signal of the program is partitioned (Figure 7).
+        assert {"BRAKE", "STOP_OK", "LIMIT_REACHED", "ALARM", "BRAKING_STATE",
+                "BRAKING_NEXT_STATE"} <= partitioned
+
+    def test_condition_signals_recorded(self):
+        _, system = system_of(ALARM_SOURCE)
+        assert "BRAKE" in system.condition_signals
+        assert "STOP_OK" in system.condition_signals
+
+    def test_variable_count_formula(self):
+        program, system = system_of(ALARM_SOURCE)
+        booleans = len(system.boolean_signals)
+        assert system.variable_count() == len(program.signals) + 2 * booleans
+
+    def test_alarm_equation_count(self):
+        _, system = system_of(ALARM_SOURCE)
+        # Every kernel process except synchro-free ones contributes equations,
+        # plus two partition constraints per boolean signal.
+        assert len(system.partition_constraints()) == 2 * len(system.boolean_signals)
+        assert len(system.operator_equations()) >= 10

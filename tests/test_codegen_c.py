@@ -1,0 +1,76 @@
+"""Structural tests of the C backend (Section 2.6 / Figure 9 shapes)."""
+
+import re
+
+import pytest
+
+from repro import GenerationStyle, compile_source
+from repro.programs import ALARM_SOURCE, COUNTER_SOURCE
+
+
+def max_brace_depth(source):
+    depth = 0
+    maximum = 0
+    for char in source:
+        if char == "{":
+            depth += 1
+            maximum = max(maximum, depth)
+        elif char == "}":
+            depth -= 1
+    return maximum
+
+
+class TestCSource:
+    def test_counter_c_source_shape(self, counter_result):
+        source = counter_result.c_source()
+        assert "void COUNT_step(void)" in source
+        assert "static long z_ZN = 0;" in source
+        assert "read_input_RESET" in source
+        assert "write_output_N" in source
+
+    def test_guarded_access_to_signals(self, alarm_result):
+        """Access to a signal's variable is guarded by a presence test (Section 2.6)."""
+        source = alarm_result.c_source()
+        assert re.search(r"if \(h\d+\) \{", source)
+        # The sensors are only read inside a guard.
+        read_line_indent = [
+            line for line in source.splitlines() if "read_input_STOP_OK" in line
+        ][0]
+        assert read_line_indent.startswith("        ")  # nested at least two levels
+
+    def test_hierarchical_deeper_than_flat(self, alarm_result):
+        nested = alarm_result.c_source(GenerationStyle.HIERARCHICAL)
+        flat = alarm_result.c_source(GenerationStyle.FLAT)
+        assert max_brace_depth(nested) > max_brace_depth(flat)
+
+    def test_flat_computes_every_clock_at_top_level(self, alarm_result):
+        """Figure 9 code b: every clock flag is computed unconditionally."""
+        flat = alarm_result.c_source(GenerationStyle.FLAT)
+        nested = alarm_result.c_source(GenerationStyle.HIERARCHICAL)
+
+        def top_level_flag_assignments(source):
+            return len(
+                [
+                    line
+                    for line in source.splitlines()
+                    if line.startswith("    h") and "=" in line and not line.startswith("     ")
+                ]
+            )
+
+        classes = [c for c in alarm_result.hierarchy.classes if not c.is_null]
+        assert top_level_flag_assignments(flat) == len(classes)
+        # The nested style only computes the root flags unconditionally.
+        assert top_level_flag_assignments(nested) < len(classes)
+
+    def test_boolean_signals_use_int_variables(self, alarm_result):
+        source = alarm_result.c_source()
+        assert "int BRAKE;" in source
+        assert "static int z_BRAKING_STATE = 0;" in source
+
+    def test_delay_register_updates_present(self, counter_result):
+        source = counter_result.c_source()
+        assert "z_ZN = N;" in source
+
+    def test_style_marker_comment(self, counter_result):
+        assert "/* style: hierarchical */" in counter_result.c_source()
+        assert "/* style: flat */" in counter_result.c_source(GenerationStyle.FLAT)

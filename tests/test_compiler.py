@@ -1,0 +1,123 @@
+"""End-to-end tests of the compilation driver and its diagnostics."""
+
+import pytest
+
+from repro import (
+    CausalityError,
+    ClockCalculusError,
+    GenerationStyle,
+    NameResolutionError,
+    ParseError,
+    analyze_source,
+    compile_source,
+)
+from repro.compiler import CompilationResult
+from repro.programs import ALARM_SOURCE, COUNTER_SOURCE
+
+
+class TestPipeline:
+    def test_result_exposes_every_stage(self, counter_result):
+        assert isinstance(counter_result, CompilationResult)
+        assert counter_result.name == "COUNT"
+        assert counter_result.program.inputs == ["RESET"]
+        assert counter_result.clock_system.equations
+        assert counter_result.hierarchy.is_resolved
+        assert counter_result.graph.edge_count() > 0
+        assert counter_result.schedule.actions
+        assert counter_result.executable.outputs == ["N"]
+
+    def test_statistics_aggregate(self, counter_result):
+        stats = counter_result.statistics()
+        assert stats["signals"] == len(counter_result.program.signals)
+        assert stats["kernel_processes"] == len(counter_result.program.processes)
+        assert stats["dependency_edges"] == counter_result.graph.edge_count()
+
+    def test_analyze_source_runs_front_half(self):
+        program, types, system, hierarchy = analyze_source(COUNTER_SOURCE)
+        assert program.name == "COUNT"
+        assert hierarchy.is_resolved
+        assert system.variable_count() > 0
+
+    def test_flat_executable_only_on_request(self):
+        without = compile_source(COUNTER_SOURCE)
+        assert without.executable_flat is None
+        with_flat = compile_source(COUNTER_SOURCE, build_flat=True)
+        assert with_flat.executable_flat is not None
+        assert with_flat.executable_flat.style is GenerationStyle.FLAT
+
+    def test_interpreter_factory_is_fresh(self, counter_result):
+        first = counter_result.interpreter()
+        second = counter_result.interpreter()
+        first.step({"RESET": False})
+        assert second.instant_index == 0
+
+    def test_c_and_python_sources_available(self, counter_result):
+        assert "COUNT_step" in counter_result.python_source()
+        assert "COUNT_step" in counter_result.c_source()
+
+    def test_step_ir_styles(self, counter_result):
+        nested = counter_result.step_ir(GenerationStyle.HIERARCHICAL)
+        flat = counter_result.step_ir(GenerationStyle.FLAT)
+        assert nested.style is GenerationStyle.HIERARCHICAL
+        assert flat.style is GenerationStyle.FLAT
+        assert nested.registers == flat.registers
+
+
+class TestDiagnostics:
+    def test_parse_error(self):
+        with pytest.raises(ParseError):
+            compile_source("process P = ( ? integer A; ! integer B; ) (| |) end;")
+
+    def test_name_error(self):
+        with pytest.raises(NameResolutionError):
+            compile_source(
+                "process P = ( ? integer A; ! integer B; ) (| B := MISSING |) end;"
+            )
+
+    def test_clock_error_for_unprovable_synchronization(self):
+        # X is sampled by C but also required synchronous with A: the system
+        # forces [C] = ^A = ^C which the heuristic cannot prove (and which is
+        # wrong unless C is always true).
+        source = """
+        process P =
+          ( ? integer A; boolean C;
+            ! integer X; )
+          (| X := A when C
+           | synchro { X, A }
+           | synchro { A, C }
+           |)
+        end;
+        """
+        with pytest.raises(ClockCalculusError):
+            compile_source(source)
+
+    def test_causality_error(self):
+        source = """
+        process P =
+          ( ? integer A;
+            ! integer X, Y; )
+          (| X := Y + A
+           | Y := X - A
+           |)
+        end;
+        """
+        with pytest.raises(CausalityError):
+            compile_source(source)
+
+    def test_temporally_incorrect_alarm_variant(self):
+        # Removing one synchro leaves the state-clock equation unprovable.
+        broken = ALARM_SOURCE.replace(
+            "| synchro { when (not BRAKING_STATE), BRAKE }            % sample when not braking\n",
+            "",
+        )
+        with pytest.raises(ClockCalculusError):
+            compile_source(broken)
+
+    def test_check_can_be_disabled_for_analysis(self):
+        broken = ALARM_SOURCE.replace(
+            "| synchro { when (not BRAKING_STATE), BRAKE }            % sample when not braking\n",
+            "",
+        )
+        program, types, system, hierarchy = analyze_source(broken, check=False)
+        assert not hierarchy.is_resolved
+        assert hierarchy.unresolved

@@ -1,0 +1,129 @@
+"""Tests for Table 2: the conditional dependency graph."""
+
+import pytest
+
+from repro.clocks.algebra import CondFalse, CondTrue, Diff, SignalClock
+from repro.errors import CausalityError
+from repro.graph.dependency import build_dependency_graph
+from repro.lang.kernel import normalize
+from repro.lang.parser import parse_process
+from repro.lang.types import infer_types
+from repro.clocks.equations import extract_clock_system
+from repro.clocks.resolution import resolve
+from repro.programs import ALARM_SOURCE, COUNTER_SOURCE
+
+
+def graph_of(source):
+    program = normalize(parse_process(source))
+    return program, build_dependency_graph(program)
+
+
+def edges_between(graph, source, target):
+    return [e for e in graph.edges if e.source == source and e.target == target]
+
+
+class TestTable2:
+    def test_function_dependencies(self):
+        _, graph = graph_of(
+            "process P = ( ? integer A, B; ! integer C; ) (| C := A + B |) end;"
+        )
+        assert edges_between(graph, "A", "C")
+        assert edges_between(graph, "B", "C")
+        # Labelled by the clock of the defined signal.
+        assert edges_between(graph, "A", "C")[0].clock == SignalClock("C")
+
+    def test_delay_has_no_dependency(self):
+        _, graph = graph_of(
+            "process P = ( ? integer X; ! integer ZX; ) (| ZX := X $ 1 init 0 |) end;"
+        )
+        assert not edges_between(graph, "X", "ZX")
+
+    def test_when_dependency(self):
+        _, graph = graph_of(
+            "process P = ( ? integer U; boolean C; ! integer X; ) (| X := U when C |) end;"
+        )
+        assert edges_between(graph, "U", "X")
+        # The condition feeds its own samplings.
+        assert edges_between(graph, "C", CondTrue("C"))
+        assert edges_between(graph, "C", CondFalse("C"))
+
+    def test_default_dependencies_and_labels(self):
+        _, graph = graph_of(
+            "process P = ( ? integer U, V; ! integer X; ) (| X := U default V |) end;"
+        )
+        left = edges_between(graph, "U", "X")[0]
+        right = edges_between(graph, "V", "X")[0]
+        assert left.clock == SignalClock("U")
+        assert right.clock == Diff(SignalClock("V"), SignalClock("U"))
+
+    def test_clock_to_signal_edges(self):
+        _, graph = graph_of(
+            "process P = ( ? integer A; ! integer B; ) (| B := A |) end;"
+        )
+        assert edges_between(graph, SignalClock("B"), "B")
+
+    def test_literal_operands_contribute_nothing(self):
+        _, graph = graph_of(
+            "process P = ( ? boolean C; ! integer X; ) (| X := 1 when C |) end;"
+        )
+        sources = {e.source for e in graph.predecessors("X")}
+        assert sources == {SignalClock("X")}
+
+    def test_counter_graph_shape(self):
+        program, graph = graph_of(COUNTER_SOURCE)
+        # N depends on ZN (through the addition) but ZN does not depend on N.
+        assert graph.value_predecessors("N")
+        assert "N" not in graph.value_predecessors("ZN")
+        assert graph.node_count() >= len(program.signals)
+
+
+class TestCycles:
+    def test_counter_has_no_instantaneous_cycle(self):
+        _, graph = graph_of(COUNTER_SOURCE)
+        assert graph.cyclic_components() == []
+        graph.check_causality()
+
+    def test_direct_cycle_detected(self):
+        _, graph = graph_of(
+            "process P = ( ? integer A; ! integer X, Y; ) (| X := Y + A | Y := X + A |) end;"
+        )
+        assert graph.cyclic_components()
+        with pytest.raises(CausalityError):
+            graph.check_causality()
+
+    def test_cycle_broken_by_delay_is_accepted(self):
+        _, graph = graph_of(
+            "process P = ( ? integer A; ! integer X; ) (| X := ZX + A | ZX := X $ 1 init 0 |)"
+            " where integer ZX; end;"
+        )
+        graph.check_causality()
+
+    def test_clock_aware_check_accepts_exclusive_cycle(self):
+        # X and Y depend on each other, but on complementary clocks: the meet
+        # of the labels is empty, so no instant activates the whole cycle.
+        source = """
+        process P =
+          ( ? integer A; boolean C;
+            ! integer X, Y; )
+          (| X := (Y when C) default A
+           | Y := (X when (not C)) default A
+           |)
+        end;
+        """
+        program = normalize(parse_process(source))
+        types = infer_types(program)
+        hierarchy = resolve(extract_clock_system(program, types))
+        graph = build_dependency_graph(program)
+        # Statically cyclic ...
+        assert graph.cyclic_components()
+        # ... but no instant activates every edge of the cycle at once.
+        graph.check_causality(hierarchy)
+
+    def test_strongly_connected_components_cover_all_nodes(self):
+        _, graph = graph_of(ALARM_SOURCE)
+        components = graph.strongly_connected_components()
+        nodes = [node for component in components for node in component]
+        assert sorted(map(str, nodes)) == sorted(map(str, graph.nodes))
+
+    def test_alarm_graph_is_causal(self, alarm_result):
+        alarm_result.graph.check_causality(alarm_result.hierarchy)

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs and produces its expected output."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys, argv=None):
+    """Execute an example as a script and return its stdout."""
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {script}"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + (argv or [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart_example(capsys):
+    output = run_example("quickstart.py", capsys)
+    assert "clock hierarchy" in output
+    assert "free clocks" in output
+    assert "class COUNT_step" in output
+    assert "RESET" in output and "N :" in output
+
+
+def test_alarm_example(capsys):
+    output = run_example("alarm.py", capsys)
+    assert "free clocks" in output
+    assert "BRAKING" in output
+    assert "ALARM flow: [False, False, True, True]" in output or "ALARM flow" in output
+    # The alarm must be raised at least once in the scripted scenario.
+    assert "True" in output.split("ALARM flow:")[1]
+
+
+def test_stopwatch_example(capsys):
+    output = run_example("stopwatch.py", capsys)
+    assert "DISPLAY flow: [0, 1, 2, 3, 3, 3, 6, 6]" in output
+    assert "LAP flow" in output
+
+
+def test_codegen_styles_example(capsys):
+    output = run_example("codegen_styles.py", capsys)
+    assert "flat/nested" in output
+    assert "nested" in output and "flat" in output
+
+
+@pytest.mark.slow
+def test_figure13_table_example_subset(capsys):
+    output = run_example(
+        "figure13_table.py", capsys, argv=["--programs", "ROBOT", "PACE_MAKER"]
+    )
+    assert "ROBOT" in output and "PACE_MAKER" in output
+    assert "T&BDD" in output
+    assert "nodes" in output

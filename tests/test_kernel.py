@@ -1,0 +1,182 @@
+"""Tests for desugaring to the SIGNAL kernel."""
+
+import pytest
+
+from repro.errors import NameResolutionError, TypeError_
+from repro.lang.kernel import (
+    KernelDefault,
+    KernelDelay,
+    KernelFunction,
+    KernelSynchro,
+    KernelWhen,
+    Literal,
+    normalize,
+)
+from repro.lang.parser import parse_process
+from repro.programs import ALARM_SOURCE, COUNTER_SOURCE
+
+
+def kernel_of(source):
+    return normalize(parse_process(source))
+
+
+def processes_of_kind(program, kind):
+    return [p for p in program.processes if isinstance(p, kind)]
+
+
+class TestBasicDesugaring:
+    def test_simple_function_keeps_target(self):
+        program = kernel_of(
+            "process P = ( ? integer A, B; ! integer C; ) (| C := A + B |) end;"
+        )
+        assert program.processes == [KernelFunction("C", "+", ("A", "B"))]
+
+    def test_copy_equation(self):
+        program = kernel_of(
+            "process P = ( ? integer A; ! integer B; ) (| B := A |) end;"
+        )
+        assert program.processes == [KernelFunction("B", "id", ("A",))]
+
+    def test_constant_equation(self):
+        program = kernel_of(
+            "process P = ( ? boolean T; ! integer B; ) (| B := (1 when T) default 0 |) end;"
+        )
+        whens = processes_of_kind(program, KernelWhen)
+        assert len(whens) == 1
+        assert whens[0].source == Literal(1)
+
+    def test_nested_expression_introduces_intermediates(self):
+        program = kernel_of(
+            "process P = ( ? integer A, B, C; ! integer D; ) (| D := (A + B) * C |) end;"
+        )
+        functions = processes_of_kind(program, KernelFunction)
+        assert len(functions) == 2
+        assert functions[-1].target == "D"
+        assert functions[-1].operator == "*"
+        # The intermediate is declared as a fresh local.
+        intermediate = functions[0].target
+        assert intermediate in program.locals
+
+    def test_when_with_expression_condition(self):
+        program = kernel_of(
+            "process P = ( ? integer A; boolean C1, C2; ! integer D; )"
+            " (| D := A when (C1 and C2) |) end;"
+        )
+        whens = processes_of_kind(program, KernelWhen)
+        assert len(whens) == 1
+        condition = whens[0].condition
+        definitions = {p.target: p for p in processes_of_kind(program, KernelFunction)}
+        assert definitions[condition].operator == "and"
+
+    def test_unary_when_becomes_c_when_c(self):
+        program = kernel_of(
+            "process P = ( ? boolean C; ! boolean D; ) (| D := when C |) end;"
+        )
+        whens = processes_of_kind(program, KernelWhen)
+        assert whens == [KernelWhen("D", "C", "C")]
+
+    def test_event_operator(self):
+        program = kernel_of(
+            "process P = ( ? integer X; ! boolean E; ) (| E := event X |) end;"
+        )
+        assert KernelFunction("E", "event", ("X",)) in program.processes
+
+    def test_delay_with_init(self):
+        program = kernel_of(COUNTER_SOURCE)
+        delays = processes_of_kind(program, KernelDelay)
+        assert delays == [KernelDelay("ZN", "N", 0)]
+
+    def test_deep_delay_becomes_chain(self):
+        program = kernel_of(
+            "process P = ( ? integer X; ! integer Y; ) (| Y := X $ 3 init 0 |) end;"
+        )
+        delays = processes_of_kind(program, KernelDelay)
+        assert len(delays) == 3
+        assert delays[-1].target == "Y"
+        # The chain is connected: each stage delays the previous one.
+        sources = [d.source for d in delays]
+        targets = [d.target for d in delays]
+        assert sources[0] == "X"
+        assert sources[1] == targets[0]
+        assert sources[2] == targets[1]
+
+    def test_default_of_two_constants_rejected(self):
+        with pytest.raises(TypeError_):
+            kernel_of(
+                "process P = ( ? boolean C; ! integer X; ) (| X := 1 default 2 |) end;"
+            )
+
+    def test_constant_condition_rejected(self):
+        with pytest.raises(TypeError_):
+            kernel_of(
+                "process P = ( ? integer A; ! integer X; ) (| X := A when true |) end;"
+            )
+
+    def test_cell_expansion(self):
+        program = kernel_of(
+            "process P = ( ? integer X; boolean C; ! integer Y; )"
+            " (| Y := X cell C init 0 |) end;"
+        )
+        # The expansion produces a delay on Y, a default defining Y and a synchro.
+        delays = processes_of_kind(program, KernelDelay)
+        defaults = processes_of_kind(program, KernelDefault)
+        synchros = processes_of_kind(program, KernelSynchro)
+        assert any(d.initial == 0 for d in delays)
+        assert any(d.target == "Y" for d in defaults)
+        assert any("Y" in s.signals for s in synchros)
+
+
+class TestSynchroAndChecks:
+    def test_synchro_over_signals(self):
+        program = kernel_of(
+            "process P = ( ? integer A, B; ! integer C; ) (| C := A + B | synchro {A, B} |) end;"
+        )
+        assert KernelSynchro(("A", "B")) in program.processes
+
+    def test_synchro_over_expressions_introduces_signals(self):
+        program = kernel_of(ALARM_SOURCE)
+        synchros = processes_of_kind(program, KernelSynchro)
+        assert len(synchros) == 2
+        # All synchro operands are signal names.
+        for synchro in synchros:
+            for name in synchro.signals:
+                assert name in program.signals
+
+    def test_undeclared_reference_rejected(self):
+        with pytest.raises(NameResolutionError):
+            kernel_of("process P = ( ? integer A; ! integer B; ) (| B := A + C |) end;")
+
+    def test_defining_an_input_rejected(self):
+        with pytest.raises(NameResolutionError):
+            kernel_of("process P = ( ? integer A; ! integer B; ) (| A := 1 when (A = 1) | B := A |) end;")
+
+    def test_double_definition_rejected(self):
+        with pytest.raises(NameResolutionError):
+            kernel_of(
+                "process P = ( ? integer A; ! integer B; ) (| B := A | B := A + 1 |) end;"
+            )
+
+    def test_missing_definition_rejected(self):
+        with pytest.raises(NameResolutionError):
+            kernel_of("process P = ( ? integer A; ! integer B, C; ) (| B := A |) end;")
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(NameResolutionError):
+            kernel_of(
+                "process P = ( ? integer A; boolean A; ! integer B; ) (| B := A |) end;"
+            )
+
+    def test_fresh_names_do_not_clash_with_user_names(self):
+        program = kernel_of(
+            "process P = ( ? integer A, B, f_k1; ! integer D; ) (| D := (A + B) * f_k1 |) end;"
+        )
+        assert len(set(program.signals)) == len(program.signals)
+
+    def test_alarm_kernel_shape(self):
+        program = kernel_of(ALARM_SOURCE)
+        assert program.inputs == ["BRAKE", "STOP_OK", "LIMIT_REACHED"]
+        assert program.outputs == ["ALARM"]
+        kinds = [type(p).__name__ for p in program.processes]
+        assert "KernelDelay" in kinds
+        assert "KernelDefault" in kinds
+        assert kinds.count("KernelSynchro") == 2

@@ -1,0 +1,159 @@
+"""The kernel operator semantics of Figures 1-4, via the reference interpreter.
+
+Each test reproduces the timing diagram of one figure of the paper:
+
+* Figure 1: ``X := X1 + X2`` (synchronous functional expression);
+* Figure 2: ``ZX := X $ 1 init v0`` (reference to past values);
+* Figure 3: ``X := U when C`` (downsampling);
+* Figure 4: ``X := U default V`` (deterministic merge).
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.lang.kernel import normalize
+from repro.lang.parser import parse_process
+from repro.lang.types import infer_types
+from repro.runtime.interpreter import KernelInterpreter
+from repro.runtime.trace import ABSENT, Trace, timing_diagram
+
+
+def interpreter_for(source):
+    program = normalize(parse_process(source))
+    return KernelInterpreter(program, infer_types(program))
+
+
+class TestFigure1Addition:
+    SOURCE = """
+    process ADD =
+      ( ? integer X1, X2; ! integer X; )
+      (| X := X1 + X2 |)
+    end;
+    """
+
+    def test_paper_trace(self):
+        # Figure 1: X1 = 1 5 2 7 8 2 1 3 ; X2 = 6 7 11 10 1 ... ; X = pointwise sum
+        interpreter = interpreter_for(self.SOURCE)
+        x1 = [1, 5, 2, 7, 8]
+        x2 = [6, 7, 11, 10, 1]
+        outputs = [
+            interpreter.step({"X1": a, "X2": b})["X"] for a, b in zip(x1, x2)
+        ]
+        assert outputs == [a + b for a, b in zip(x1, x2)]
+
+    def test_inputs_must_be_synchronous(self):
+        interpreter = interpreter_for(self.SOURCE)
+        with pytest.raises(SimulationError):
+            interpreter.step({"X1": 1})  # X2 absent: clock contradiction
+
+    def test_all_absent_instant(self):
+        interpreter = interpreter_for(self.SOURCE)
+        assert interpreter.step({}) == {}
+
+
+class TestFigure2Delay:
+    SOURCE = """
+    process DELAY =
+      ( ? integer X; ! integer ZX; )
+      (| ZX := X $ 1 init 9 |)
+    end;
+    """
+
+    def test_paper_trace(self):
+        # Figure 2: X = 1 5 2 7 8 2 1 3, v0 = 9 -> ZX = 9 1 5 2 7 8 2 1
+        interpreter = interpreter_for(self.SOURCE)
+        values = [1, 5, 2, 7, 8, 2, 1, 3]
+        outputs = [interpreter.step({"X": v})["ZX"] for v in values]
+        assert outputs == [9, 1, 5, 2, 7, 8, 2, 1]
+
+    def test_delay_is_synchronous_with_source(self):
+        interpreter = interpreter_for(self.SOURCE)
+        assert interpreter.step({}) == {}
+        result = interpreter.step({"X": 4})
+        assert result["ZX"] == 9
+
+    def test_absence_does_not_advance_state(self):
+        interpreter = interpreter_for(self.SOURCE)
+        interpreter.step({"X": 1})
+        interpreter.step({})  # absent instant
+        assert interpreter.step({"X": 2})["ZX"] == 1
+
+
+class TestFigure3When:
+    SOURCE = """
+    process SAMPLE =
+      ( ? integer U; boolean C; ! integer X; )
+      (| X := U when C |)
+    end;
+    """
+
+    def test_paper_trace(self):
+        # Figure 3: U = 1 5 2 7 8 2 1 3 ; C = f t f t t . t f (absence marked .)
+        interpreter = interpreter_for(self.SOURCE)
+        u_values = [1, 5, 2, 7, 8, 2, 1, 3]
+        c_values = [False, True, False, True, True, ABSENT, True, False]
+        outputs = []
+        for u, c in zip(u_values, c_values):
+            instant = {"U": u}
+            if c is not ABSENT:
+                instant["C"] = c
+            result = interpreter.step(instant)
+            outputs.append(result.get("X", ABSENT))
+        assert outputs == [ABSENT, 5, ABSENT, 7, 8, ABSENT, 1, ABSENT]
+
+    def test_when_with_absent_source(self):
+        interpreter = interpreter_for(self.SOURCE)
+        result = interpreter.step({"C": True})
+        assert "X" not in result
+
+    def test_result_is_subsequence_of_source(self):
+        interpreter = interpreter_for(self.SOURCE)
+        trace = Trace()
+        for u, c in [(1, True), (2, False), (3, True)]:
+            trace.append(interpreter.step({"U": u, "C": c}))
+        assert trace.values("X") == [1, 3]
+
+
+class TestFigure4Default:
+    SOURCE = """
+    process MERGE =
+      ( ? integer U, V; ! integer X; )
+      (| X := U default V |)
+    end;
+    """
+
+    def test_paper_trace(self):
+        # Figure 4: U = 1 2 . 5 . 7 8 ; V = . 1 5 8 . . 2 -> X = 1 2 5 5 . 7 8
+        interpreter = interpreter_for(self.SOURCE)
+        u_values = [1, 2, ABSENT, 5, ABSENT, 7, 8]
+        v_values = [ABSENT, 1, 5, 8, ABSENT, ABSENT, 2]
+        outputs = []
+        for u, v in zip(u_values, v_values):
+            instant = {}
+            if u is not ABSENT:
+                instant["U"] = u
+            if v is not ABSENT:
+                instant["V"] = v
+            outputs.append(interpreter.step(instant).get("X", ABSENT))
+        assert outputs == [1, 2, 5, 5, ABSENT, 7, 8]
+
+    def test_priority_goes_to_the_left_operand(self):
+        interpreter = interpreter_for(self.SOURCE)
+        assert interpreter.step({"U": 10, "V": 20})["X"] == 10
+
+    def test_absent_when_both_absent(self):
+        interpreter = interpreter_for(self.SOURCE)
+        assert interpreter.step({}) == {}
+
+
+class TestTimingDiagram:
+    def test_diagram_rendering(self):
+        trace = Trace([{"X": 1, "C": True}, {"X": 2}, {"C": False}])
+        diagram = timing_diagram(trace, ["X", "C"])
+        lines = diagram.splitlines()
+        assert lines[0].startswith("X :")
+        assert "." in lines[0]  # absence marker
+        assert "t" in lines[1] and "f" in lines[1]
+
+    def test_diagram_of_empty_trace(self):
+        assert timing_diagram(Trace()) == "(empty trace)"

@@ -1,0 +1,97 @@
+"""Tests for the SIGNAL tokenizer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokenKinds:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("process FOO when BAR default")
+        assert [t.kind for t in tokens[:-1]] == [
+            "keyword",
+            "identifier",
+            "keyword",
+            "identifier",
+            "keyword",
+        ]
+
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("WHEN When when")
+        assert all(t.is_keyword("when") for t in tokens[:-1])
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind == "integer"
+        assert token.value == 42
+
+    def test_real_literal(self):
+        token = tokenize("3.25")[0]
+        assert token.kind == "real"
+        assert token.value == pytest.approx(3.25)
+
+    def test_boolean_literals(self):
+        tokens = tokenize("true false")
+        assert tokens[0].value is True
+        assert tokens[1].value is False
+
+    def test_underscored_identifier(self):
+        token = tokenize("BRAKING_NEXT_STATE")[0]
+        assert token.kind == "identifier"
+        assert token.text == "BRAKING_NEXT_STATE"
+
+    def test_integer_followed_by_dollar(self):
+        assert texts("X $ 1") == ["X", "$", "1"]
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "symbol",
+        [":=", "/=", "<=", ">=", "(|", "|)", "(", ")", "{", "}", "|", ";", ",", "?",
+         "!", "=", "<", ">", "+", "-", "*", "/", "$"],
+    )
+    def test_each_operator_is_one_token(self, symbol):
+        tokens = tokenize(symbol)
+        assert len(tokens) == 2
+        assert tokens[0].is_operator(symbol)
+
+    def test_composition_brackets_not_split(self):
+        assert texts("(| X := Y |)") == ["(|", "X", ":=", "Y", "|)"]
+
+    def test_assign_vs_colon(self):
+        tokens = tokenize("X := 1")
+        assert tokens[1].is_operator(":=")
+
+
+class TestCommentsAndPositions:
+    def test_percent_comment_to_end_of_line(self):
+        assert texts("X % comment with := tokens\nY") == ["X", "Y"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("X\n  Y")
+        assert (tokens[0].location.line, tokens[0].location.column) == (1, 1)
+        assert (tokens[1].location.line, tokens[1].location.column) == (2, 3)
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("X @ Y")
+        assert "@" in str(excinfo.value)
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("ABC\n  #")
+        assert excinfo.value.location.line == 2

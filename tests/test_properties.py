@@ -1,0 +1,159 @@
+"""Property-based tests of the clock calculus and the frontend.
+
+* clock expressions over a resolved program form a boolean lattice: the BDD
+  encoding must satisfy the usual algebraic laws and be consistent with the
+  inclusion relation embodied in the clock tree;
+* printing a parsed expression and re-parsing it yields the same tree
+  (parser/printer round trip);
+* the flat and hierarchical generated codes agree on arbitrary input
+  sequences for the counter program (stateful behavioural property).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import compile_source
+from repro.clocks.algebra import (
+    CondFalse,
+    CondTrue,
+    Diff,
+    Join,
+    Meet,
+    NULL_CLOCK,
+    SignalClock,
+)
+from repro.lang.ast import BinaryOp, Constant, Default, SignalRef, UnaryOp, When
+from repro.lang.parser import parse_expression
+from repro.programs import ALARM_SOURCE, COUNTER_SOURCE
+
+
+# ---------------------------------------------------------------------------
+# Clock algebra vs BDD encoding
+# ---------------------------------------------------------------------------
+
+_ALARM = compile_source(ALARM_SOURCE)
+_HIERARCHY = _ALARM.hierarchy
+_ATOMS = [
+    SignalClock("BRAKE"),
+    SignalClock("STOP_OK"),
+    SignalClock("ALARM"),
+    SignalClock("BRAKING_STATE"),
+    CondTrue("BRAKING_STATE"),
+    CondFalse("BRAKING_STATE"),
+    CondTrue("STOP_OK"),
+    CondFalse("LIMIT_REACHED"),
+    NULL_CLOCK,
+]
+
+
+@st.composite
+def clock_expressions(draw, depth=3):
+    if depth == 0:
+        return draw(st.sampled_from(_ATOMS))
+    return draw(
+        st.one_of(
+            st.sampled_from(_ATOMS),
+            st.builds(Meet, clock_expressions(depth=depth - 1), clock_expressions(depth=depth - 1)),
+            st.builds(Join, clock_expressions(depth=depth - 1), clock_expressions(depth=depth - 1)),
+            st.builds(Diff, clock_expressions(depth=depth - 1), clock_expressions(depth=depth - 1)),
+        )
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(clock_expressions(), clock_expressions())
+def test_meet_and_join_are_commutative(left, right):
+    assert _HIERARCHY.encode(Meet(left, right)) == _HIERARCHY.encode(Meet(right, left))
+    assert _HIERARCHY.encode(Join(left, right)) == _HIERARCHY.encode(Join(right, left))
+
+
+@settings(max_examples=120, deadline=None)
+@given(clock_expressions())
+def test_lattice_identities(clock):
+    encoded = _HIERARCHY.encode(clock)
+    assert _HIERARCHY.encode(Meet(clock, clock)) == encoded
+    assert _HIERARCHY.encode(Join(clock, clock)) == encoded
+    assert _HIERARCHY.encode(Join(clock, NULL_CLOCK)) == encoded
+    assert _HIERARCHY.encode(Meet(clock, NULL_CLOCK)).is_false
+    assert _HIERARCHY.encode(Diff(clock, clock)).is_false
+    assert _HIERARCHY.encode(Diff(clock, NULL_CLOCK)) == encoded
+
+
+@settings(max_examples=120, deadline=None)
+@given(clock_expressions(), clock_expressions())
+def test_difference_relates_meet_and_join(left, right):
+    """k1 = (k1 \\ k2) ∨ (k1 ∧ k2) and the two parts are disjoint."""
+    difference = _HIERARCHY.encode(Diff(left, right))
+    intersection = _HIERARCHY.encode(Meet(left, right))
+    assert (difference | intersection) == _HIERARCHY.encode(left)
+    assert (difference & intersection).is_false
+
+
+@settings(max_examples=120, deadline=None)
+@given(clock_expressions(), clock_expressions())
+def test_subclock_is_a_partial_order_consistent_with_meet(left, right):
+    """k1 ⊆ k2 iff k1 ∧ k2 = k1."""
+    included = _HIERARCHY.is_subclock(left, right)
+    assert included == (_HIERARCHY.encode(Meet(left, right)) == _HIERARCHY.encode(left))
+    # Meet is a lower bound for both operands.
+    assert _HIERARCHY.is_subclock(Meet(left, right), left)
+    assert _HIERARCHY.is_subclock(Meet(left, right), right)
+    # Join is an upper bound for both operands.
+    assert _HIERARCHY.is_subclock(left, Join(left, right))
+
+
+def test_tree_embodies_inclusion():
+    """Every node of the clock forest is included in each of its ancestors."""
+    for node in _HIERARCHY.forest.iter_nodes():
+        for ancestor in node.ancestors():
+            assert node.clock_class.bdd.implies(ancestor.clock_class.bdd)
+
+
+# ---------------------------------------------------------------------------
+# Parser / printer round trip
+# ---------------------------------------------------------------------------
+
+_NAMES = st.sampled_from(["X", "Y", "Z", "ALPHA", "B_2"])
+
+
+@st.composite
+def surface_expressions(draw, depth=3):
+    if depth == 0:
+        return draw(
+            st.one_of(
+                st.builds(SignalRef, _NAMES),
+                st.builds(Constant, st.integers(min_value=0, max_value=50)),
+                st.builds(Constant, st.booleans()),
+            )
+        )
+    smaller = surface_expressions(depth=depth - 1)
+    return draw(
+        st.one_of(
+            st.builds(SignalRef, _NAMES),
+            st.builds(Constant, st.integers(min_value=0, max_value=50)),
+            st.builds(UnaryOp, st.just("not"), smaller),
+            st.builds(BinaryOp, st.sampled_from(["+", "-", "*", "and", "or", "="]), smaller, smaller),
+            st.builds(When, smaller, smaller),
+            st.builds(Default, smaller, smaller),
+        )
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(surface_expressions())
+def test_expression_print_parse_roundtrip(expression):
+    """Printing an expression and re-parsing it yields the same tree."""
+    assert parse_expression(str(expression)) == expression
+
+
+# ---------------------------------------------------------------------------
+# Behavioural property of the generated code
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=25))
+def test_counter_styles_agree_on_any_input_sequence(resets):
+    result = compile_source(COUNTER_SOURCE, build_flat=True)
+    nested_outputs = [result.executable.step({"RESET": r}) for r in resets]
+    flat_outputs = [result.executable_flat.step({"RESET": r}) for r in resets]
+    assert nested_outputs == flat_outputs

@@ -1,0 +1,199 @@
+"""Tests for the arborescent resolution (triangularization, Section 3)."""
+
+import pytest
+
+from repro.clocks.algebra import CondFalse, CondTrue, Meet, NULL_CLOCK, SignalClock
+from repro.clocks.equations import extract_clock_system
+from repro.clocks.resolution import (
+    FormulaDefinition,
+    FreeDefinition,
+    NullDefinition,
+    PartitionDefinition,
+    resolve,
+)
+from repro.errors import ClockCalculusError
+from repro.lang.kernel import normalize
+from repro.lang.parser import parse_process
+from repro.lang.types import infer_types
+
+
+def hierarchy_of(source):
+    program = normalize(parse_process(source))
+    types = infer_types(program)
+    system = extract_clock_system(program, types)
+    return program, resolve(system)
+
+
+class TestEquivalenceClasses:
+    def test_function_operands_share_a_class(self):
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer A, B; ! integer C; ) (| C := A + B |) end;"
+        )
+        assert hierarchy.class_of_signal("A") is hierarchy.class_of_signal("B")
+        assert hierarchy.class_of_signal("A") is hierarchy.class_of_signal("C")
+
+    def test_synchronous_query(self):
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer A; boolean C; ! integer X, Y; )"
+            " (| X := A when C | Y := A |) end;"
+        )
+        assert hierarchy.are_synchronous("Y", "A")
+        assert not hierarchy.are_synchronous("X", "A")
+
+    def test_subclock_query(self):
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer A; boolean C; ! integer X; ) (| X := A when C |) end;"
+        )
+        assert hierarchy.is_subclock(SignalClock("X"), SignalClock("A"))
+        assert not hierarchy.is_subclock(SignalClock("A"), SignalClock("X"))
+        assert hierarchy.is_subclock(CondTrue("C"), SignalClock("C"))
+
+    def test_partitions_are_disjoint_and_cover(self):
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer A; boolean C; ! integer X; ) (| X := A when C |) end;"
+        )
+        assert hierarchy.is_empty(Meet(CondTrue("C"), CondFalse("C")))
+        union = hierarchy.encode(CondTrue("C")) | hierarchy.encode(CondFalse("C"))
+        assert union == hierarchy.encode(SignalClock("C"))
+
+
+class TestFreeClocksAndDefinitions:
+    def test_unconstrained_inputs_are_free(self):
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer A, B; ! integer X, Y; ) (| X := A | Y := B |) end;"
+        )
+        free_signals = {s for c in hierarchy.free_classes() for s in c.signals}
+        assert "A" in free_signals and "B" in free_signals
+        assert hierarchy.master_class() is None  # two independent free clocks
+
+    def test_single_free_clock_is_master(self):
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer A; boolean C; ! integer X; )"
+            " (| X := A when C | synchro {A, C} |) end;"
+        )
+        master = hierarchy.master_class()
+        assert master is not None
+        assert "A" in master.signals
+
+    def test_sampled_clock_has_partition_definition(self):
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer A; boolean C; ! integer X; )"
+            " (| X := A when C | synchro {A, C} |) end;"
+        )
+        x_class = hierarchy.class_of_signal("X")
+        assert isinstance(x_class.definition, PartitionDefinition)
+        assert x_class.definition.condition == "C"
+        assert x_class.definition.polarity is True
+
+    def test_default_clock_has_formula_definition(self):
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer U, V; ! integer X; ) (| X := U default V |) end;"
+        )
+        x_class = hierarchy.class_of_signal("X")
+        assert isinstance(x_class.definition, FormulaDefinition)
+
+    def test_never_present_signal_is_null(self):
+        # X is sampled by C and by (not C) simultaneously: its clock is empty.
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer A; boolean C; ! integer X; )"
+            " (| X := (A when C) when (not C) |) end;"
+        )
+        x_class = hierarchy.class_of_signal("X")
+        assert hierarchy.is_empty(SignalClock("X"))
+        assert x_class.is_null or isinstance(x_class.definition, (NullDefinition, FormulaDefinition))
+
+    def test_equivalent_clocks_are_merged(self):
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer A; boolean C; ! integer X, Y; )"
+            " (| X := A when C | Y := A when C |) end;"
+        )
+        assert hierarchy.class_of_signal("X") is hierarchy.class_of_signal("Y")
+
+    def test_negated_condition_identified_with_complement(self):
+        # when (not C) is identified with [¬C]: X and Y partition A's clock.
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer A; boolean C; ! integer X, Y; )"
+            " (| X := A when C | Y := A when (not C) | synchro {A, C} |) end;"
+        )
+        assert hierarchy.encode(SignalClock("Y")) == hierarchy.encode(CondFalse("C"))
+        union = hierarchy.encode(SignalClock("X")) | hierarchy.encode(SignalClock("Y"))
+        assert union == hierarchy.encode(SignalClock("A"))
+
+    def test_constant_true_condition_collapses(self):
+        # B := true when C  gives  [B] = ^B and [¬B] = O.
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? boolean C; ! boolean B; ) (| B := true when C |) end;"
+        )
+        assert hierarchy.encode(CondTrue("B")) == hierarchy.encode(SignalClock("B"))
+        assert hierarchy.is_empty(CondFalse("B"))
+
+
+class TestStateClockCycle:
+    STATE_MACHINE = """
+    process TOGGLE =
+      ( ? boolean GO, HALT;
+        ! boolean RUNNING; )
+      (| STATE := NEXT $ 1 init false
+       | NEXT := (true when GO) default (false when HALT) default STATE
+       | synchro { when STATE, HALT }
+       | synchro { when (not STATE), GO }
+       | RUNNING := STATE
+       |)
+      where boolean STATE, NEXT;
+    end;
+    """
+
+    def test_cycle_is_broken_and_verified(self):
+        _, hierarchy = hierarchy_of(self.STATE_MACHINE)
+        assert hierarchy.is_resolved
+        master = hierarchy.master_class()
+        assert master is not None
+        assert "STATE" in master.signals
+        assert master.assumed_free  # the cycle was broken by assuming it free
+
+    def test_verification_failure_is_reported(self):
+        # HALT is sampled outside the state's clock: the deferred equation
+        # NEXT's clock = [GO] ∨ [HALT] ∨ STATE cannot be proved.
+        source = """
+        process BROKEN =
+          ( ? boolean GO, HALT;
+            ! boolean RUNNING; )
+          (| STATE := NEXT $ 1 init false
+           | NEXT := (true when GO) default (false when HALT) default STATE
+           | synchro { when (not STATE), GO }
+           | RUNNING := STATE
+           |)
+          where boolean STATE, NEXT;
+        end;
+        """
+        program = normalize(parse_process(source))
+        types = infer_types(program)
+        hierarchy = resolve(extract_clock_system(program, types))
+        assert not hierarchy.is_resolved
+        with pytest.raises(ClockCalculusError):
+            hierarchy.check()
+
+
+class TestStatistics:
+    def test_statistics_keys(self):
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer A; boolean C; ! integer X; ) (| X := A when C |) end;"
+        )
+        stats = hierarchy.statistics()
+        for key in ("classes", "variables", "bdd_nodes", "trees", "forest_nodes",
+                    "forest_height", "free_clocks", "unresolved"):
+            assert key in stats
+        assert stats["unresolved"] == 0
+
+    def test_placement_order_is_triangular(self):
+        _, hierarchy = hierarchy_of(
+            "process P = ( ? integer A; boolean C; ! integer X; )"
+            " (| X := A when C | synchro {A, C} |) end;"
+        )
+        seen = set()
+        for clock_class in hierarchy.placement_order:
+            definition = clock_class.definition
+            if isinstance(definition, PartitionDefinition):
+                parent = hierarchy.class_of_signal(definition.condition)
+                assert parent.id in seen or parent.id == clock_class.id
+            seen.add(clock_class.id)

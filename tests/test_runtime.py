@@ -1,0 +1,163 @@
+"""Tests for the trace model, the executor and interpreter error handling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.lang.kernel import normalize
+from repro.lang.parser import parse_process
+from repro.lang.types import infer_types
+from repro.runtime import (
+    ABSENT,
+    KernelInterpreter,
+    ReactiveExecutor,
+    Trace,
+    random_oracle,
+    timing_diagram,
+)
+from repro.lang.types import SignalType
+from repro.programs import COUNTER_SOURCE
+
+
+class TestTrace:
+    def test_from_columns_and_back(self):
+        trace = Trace.from_columns({"X": [1, ABSENT, 3], "C": [True, False, ABSENT]})
+        assert len(trace) == 3
+        assert trace.column("X") == [1, ABSENT, 3]
+        assert trace.values("X") == [1, 3]
+        assert trace.presence("C") == [True, True, False]
+
+    def test_signals_in_first_seen_order(self):
+        trace = Trace([{"B": 1}, {"A": 2, "B": 3}])
+        assert trace.signals() == ["B", "A"]
+
+    def test_synchrony_check(self):
+        trace = Trace.from_columns({"X": [1, ABSENT, 3], "Y": [4, ABSENT, 6],
+                                    "Z": [ABSENT, 5, ABSENT]})
+        assert trace.is_synchronous("X", "Y")
+        assert not trace.is_synchronous("X", "Z")
+
+    def test_restrict(self):
+        trace = Trace([{"A": 1, "B": 2}, {"A": 3}])
+        restricted = trace.restrict(["A"])
+        assert restricted.signals() == ["A"]
+        assert restricted[1] == {"A": 3}
+
+    def test_equality_and_repr(self):
+        first = Trace([{"A": 1}])
+        second = Trace([{"A": 1}])
+        assert first == second
+        assert "Trace(" in repr(first)
+
+    def test_absent_is_falsy_singleton(self):
+        from repro.runtime.trace import Absent
+
+        assert Absent() is ABSENT
+        assert not ABSENT
+        assert repr(ABSENT) == "ABSENT"
+
+    def test_timing_diagram_alignment(self):
+        trace = Trace.from_columns({"LONG_NAME": [10, ABSENT], "X": [ABSENT, 3]})
+        diagram = timing_diagram(trace)
+        lines = diagram.splitlines()
+        assert len(lines) == 2
+        assert lines[0].index(":") == lines[1].index(":")
+
+
+class TestInterpreterErrors:
+    def _interpreter(self, source):
+        program = normalize(parse_process(source))
+        return KernelInterpreter(program, infer_types(program))
+
+    def test_unknown_input_rejected(self):
+        interpreter = self._interpreter(COUNTER_SOURCE)
+        with pytest.raises(SimulationError):
+            interpreter.step({"NOT_AN_INPUT": 1})
+
+    def test_synchro_violation_detected(self):
+        interpreter = self._interpreter(
+            "process P = ( ? integer A, B; ! integer C; )"
+            " (| C := A | synchro {A, B} |) end;"
+        )
+        with pytest.raises(SimulationError):
+            interpreter.step({"A": 1})
+
+    def test_undetermined_presence_reported(self):
+        # With no inputs present, the clock of N (a pure counter driven by its
+        # own delay) is not determined by the environment.
+        interpreter = self._interpreter(
+            "process P = ( ! integer N; ) (| N := ZN + 1 | ZN := N $ 1 init 0 |)"
+            " where integer ZN; end;"
+        )
+        with pytest.raises(SimulationError):
+            interpreter.step({})
+
+    def test_presence_assertion_resolves_free_clocks(self):
+        interpreter = self._interpreter(
+            "process P = ( ! integer N; ) (| N := ZN + 1 | ZN := N $ 1 init 0 |)"
+            " where integer ZN; end;"
+        )
+        result = interpreter.step({}, present=["N"])
+        assert result["N"] == 1
+        assert interpreter.step({}, present=["N"])["N"] == 2
+
+    def test_unknown_as_absent_option(self):
+        interpreter = self._interpreter(
+            "process P = ( ! integer N; ) (| N := ZN + 1 | ZN := N $ 1 init 0 |)"
+            " where integer ZN; end;"
+        )
+        assert interpreter.step({}, unknown_as_absent=True) == {}
+
+    def test_reset_restores_registers(self):
+        interpreter = self._interpreter(COUNTER_SOURCE)
+        interpreter.step({"RESET": False})
+        interpreter.step({"RESET": False})
+        interpreter.reset()
+        assert interpreter.instant_index == 0
+        assert interpreter.step({"RESET": False})["N"] == 1
+
+    def test_run_collects_a_trace(self):
+        interpreter = self._interpreter(COUNTER_SOURCE)
+        trace = interpreter.run([{"RESET": False}, {"RESET": True}, {"RESET": False}])
+        assert trace.values("N") == [1, 0, 1]
+
+
+class TestExecutor:
+    def test_records_consumed_inputs_and_observations(self, counter_result):
+        executor = ReactiveExecutor(counter_result.executable)
+        counter_result.executable.reset()
+        trace = executor.run(5, oracle=lambda name: False)
+        assert len(trace) == 5
+        assert all(step.inputs == {"RESET": False} for step in trace)
+        assert trace.outputs().values("N") == [1, 2, 3, 4, 5]
+        assert "ZN" in trace[0].observations
+
+    def test_inputs_per_step_override_oracle(self, counter_result):
+        counter_result.executable.reset()
+        executor = ReactiveExecutor(counter_result.executable)
+        trace = executor.run(
+            3,
+            oracle=lambda name: False,
+            inputs_per_step=[{"RESET": False}, {"RESET": True}, {"RESET": False}],
+        )
+        assert trace.outputs().values("N") == [1, 0, 1]
+
+    def test_missing_oracle_raises(self, counter_result):
+        counter_result.executable.reset()
+        executor = ReactiveExecutor(counter_result.executable)
+        with pytest.raises(KeyError):
+            executor.run(1)
+
+    def test_random_oracle_is_reproducible_and_typed(self):
+        types = {
+            "B": SignalType.BOOLEAN,
+            "I": SignalType.INTEGER,
+            "R": SignalType.REAL,
+        }
+        first = random_oracle(types, seed=4)
+        second = random_oracle(types, seed=4)
+        values_first = [first("B"), first("I"), first("R")]
+        values_second = [second("B"), second("I"), second("R")]
+        assert values_first == values_second
+        assert isinstance(values_first[0], bool)
+        assert isinstance(values_first[1], int)
+        assert isinstance(values_first[2], float)

@@ -1,0 +1,100 @@
+"""Tests for signal type inference."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.lang.kernel import normalize
+from repro.lang.parser import parse_process
+from repro.lang.types import SignalType, default_value, infer_types, type_of_constant, unify
+from repro.programs import ALARM_SOURCE, COUNTER_SOURCE, WATCHDOG_SOURCE
+
+
+def types_of(source):
+    program = normalize(parse_process(source))
+    return program, infer_types(program)
+
+
+class TestUnify:
+    def test_identity(self):
+        assert unify(SignalType.INTEGER, SignalType.INTEGER) is SignalType.INTEGER
+
+    def test_unknown_propagates(self):
+        assert unify(None, SignalType.REAL) is SignalType.REAL
+        assert unify(SignalType.REAL, None) is SignalType.REAL
+        assert unify(None, None) is None
+
+    def test_event_and_boolean(self):
+        assert unify(SignalType.EVENT, SignalType.BOOLEAN) is SignalType.BOOLEAN
+
+    def test_numeric_promotion(self):
+        assert unify(SignalType.INTEGER, SignalType.REAL) is SignalType.REAL
+
+    def test_clash_raises(self):
+        with pytest.raises(TypeError_):
+            unify(SignalType.BOOLEAN, SignalType.INTEGER)
+
+    def test_constant_types(self):
+        assert type_of_constant(True) is SignalType.BOOLEAN
+        assert type_of_constant(3) is SignalType.INTEGER
+        assert type_of_constant(1.5) is SignalType.REAL
+
+    def test_default_values(self):
+        assert default_value(SignalType.BOOLEAN) is False
+        assert default_value(SignalType.INTEGER) == 0
+        assert default_value(SignalType.REAL) == 0.0
+
+
+class TestInference:
+    def test_declared_types_are_kept(self):
+        program, types = types_of(COUNTER_SOURCE)
+        assert types["RESET"] is SignalType.BOOLEAN
+        assert types["N"] is SignalType.INTEGER
+        assert types["ZN"] is SignalType.INTEGER
+
+    def test_intermediates_get_types(self):
+        program, types = types_of(COUNTER_SOURCE)
+        for name in program.locals:
+            assert types[name] in (SignalType.INTEGER, SignalType.BOOLEAN)
+
+    def test_alarm_intermediates_are_boolean(self):
+        program, types = types_of(ALARM_SOURCE)
+        for name in program.signals:
+            assert types[name] is SignalType.BOOLEAN
+
+    def test_relational_result_is_boolean(self):
+        program, types = types_of(WATCHDOG_SOURCE)
+        assert types["ALARM"] is SignalType.BOOLEAN
+        assert types["COUNT"] is SignalType.INTEGER
+
+    def test_event_type(self):
+        _, types = types_of(
+            "process P = ( ? integer X; ! event E; ) (| E := event X |) end;"
+        )
+        assert types["E"] is SignalType.EVENT
+
+    def test_real_arithmetic(self):
+        _, types = types_of(
+            "process P = ( ? real X; ! real Y; ) (| Y := X * 2.0 |) end;"
+        )
+        assert types["Y"] is SignalType.REAL
+
+    def test_type_clash_is_reported(self):
+        with pytest.raises(TypeError_):
+            types_of(
+                "process P = ( ? integer A; boolean B; ! integer C; ) (| C := A + B |) end;"
+            )
+
+    def test_propagation_through_default_and_when(self):
+        _, types = types_of(
+            "process P = ( ? integer A; boolean C; ! integer D; )"
+            " (| D := (A when C) default ZD | ZD := D $ 1 init 0 |)"
+            " where integer ZD; end;"
+        )
+        assert types["D"] is SignalType.INTEGER
+        assert types["ZD"] is SignalType.INTEGER
+
+    def test_boolean_operator_forces_boolean_operands(self):
+        _, types = types_of(
+            "process P = ( ? boolean A, B; ! boolean C; ) (| C := A and (not B) |) end;"
+        )
+        assert types["C"] is SignalType.BOOLEAN

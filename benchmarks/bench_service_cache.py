@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Cold vs warm compile throughput of the compilation service.
+
+The service compiles the Figure-13 generated suite once cold (empty cache,
+fresh pooled manager) and then re-compiles it for several warm rounds; warm
+rounds are served from the LRU compile cache keyed by kernel fingerprints.
+The script prints a per-program table and fails (exit code 1) when the warm
+speedup drops below ``--min-speedup`` (default 5x), so CI catches
+regressions in the cache path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_cache.py           # full suite
+    PYTHONPATH=src python benchmarks/bench_service_cache.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_service_cache.py --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import CompilationService
+from repro.programs import benchmark_names, benchmark_source
+
+QUICK_PROGRAMS = ["ROBOT", "PACE_MAKER", "SUPERVISOR", "CHRONO"]
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--programs",
+        nargs="*",
+        default=None,
+        help="Figure-13 program names to compile (default: the whole suite)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"use the small CI subset {QUICK_PROGRAMS}",
+    )
+    parser.add_argument(
+        "--warm-rounds",
+        type=int,
+        default=3,
+        help="number of warm (cached) passes over the suite (default 3)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail when cold/warm falls below this factor (default 5.0)",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="report only; never fail on the speedup threshold",
+    )
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    return parser.parse_args(argv)
+
+
+def run(argv=None) -> int:
+    arguments = parse_args(argv)
+    if arguments.programs:
+        names = arguments.programs
+    elif arguments.quick:
+        names = QUICK_PROGRAMS
+    else:
+        names = benchmark_names()
+    sources = {name: benchmark_source(name) for name in names}
+
+    service = CompilationService(max_entries=max(len(names) * 2, 16))
+
+    cold: Dict[str, float] = {}
+    for name in names:
+        started = time.perf_counter()
+        service.compile(sources[name])
+        cold[name] = time.perf_counter() - started
+
+    warm_rounds: List[Dict[str, float]] = []
+    for _ in range(max(1, arguments.warm_rounds)):
+        round_times: Dict[str, float] = {}
+        for name in names:
+            started = time.perf_counter()
+            service.compile(sources[name])
+            round_times[name] = time.perf_counter() - started
+        warm_rounds.append(round_times)
+
+    warm = {
+        name: sum(round_times[name] for round_times in warm_rounds) / len(warm_rounds)
+        for name in names
+    }
+    cold_total = sum(cold.values())
+    warm_total = sum(warm.values())
+    speedup = cold_total / warm_total if warm_total > 0 else float("inf")
+    stats = service.statistics()
+
+    report = {
+        "programs": names,
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "cold_total_seconds": cold_total,
+        "warm_total_seconds": warm_total,
+        "warm_rounds": len(warm_rounds),
+        "speedup": speedup,
+        "cold_throughput_per_s": len(names) / cold_total if cold_total else float("inf"),
+        "warm_throughput_per_s": len(names) / warm_total if warm_total else float("inf"),
+        "service": stats,
+    }
+
+    if arguments.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        width = max(len(name) for name in names)
+        print(f"{'program':<{width}}  {'cold (ms)':>10}  {'warm (ms)':>10}  {'speedup':>8}")
+        for name in names:
+            per_program = cold[name] / warm[name] if warm[name] > 0 else float("inf")
+            print(
+                f"{name:<{width}}  {cold[name] * 1000.0:>10.2f}  "
+                f"{warm[name] * 1000.0:>10.2f}  {per_program:>7.1f}x"
+            )
+        print(
+            f"{'TOTAL':<{width}}  {cold_total * 1000.0:>10.2f}  "
+            f"{warm_total * 1000.0:>10.2f}  {speedup:>7.1f}x"
+        )
+        print(
+            f"cache: {stats['cache_hits']} hits / {stats['cache_misses']} misses, "
+            f"{stats['pooled_bdd_nodes']} pooled BDD nodes, "
+            f"{stats['scopes']} scopes"
+        )
+
+    if not arguments.no_check and speedup < arguments.min_speedup:
+        print(
+            f"FAIL: warm recompilation speedup {speedup:.1f}x is below the "
+            f"required {arguments.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -15,7 +15,10 @@ in *"Implementation of the data-flow synchronous language SIGNAL"*
 * a reference interpreter of the kernel semantics, used for differential
   testing and for the timing diagrams of Figures 1-4;
 * the benchmark programs and representation baselines needed to regenerate
-  the comparison of Figure 13.
+  the comparison of Figure 13;
+* a compilation service (:class:`repro.service.CompilationService`) that
+  pools a shared BDD manager across compilations, caches compilation
+  results by kernel fingerprint, and compiles batches concurrently.
 
 Quickstart::
 
@@ -52,6 +55,7 @@ from .errors import (
 )
 from .lang import SignalType, parse_process
 from .runtime import ABSENT, KernelInterpreter, ReactiveExecutor, Trace, timing_diagram
+from .service import CompilationService
 
 __version__ = "1.0.0"
 
@@ -59,6 +63,7 @@ __all__ = [
     "BDD",
     "BDDManager",
     "CompilationResult",
+    "CompilationService",
     "analyze_source",
     "compile_process",
     "compile_source",

@@ -11,8 +11,18 @@ requested artifact::
     python -m repro program.sig --flat ...       # flat (single-loop) style
     python -m repro program.sig --simulate 10    # run 10 reactions with random inputs
 
-The CLI is a thin layer over :func:`repro.compiler.compile_source`; it exists
-so the compiler can be used like the original batch SIGNAL compiler.
+``python -m repro batch <files...>`` compiles many processes through one
+:class:`~repro.service.CompilationService` (shared BDD pool + compile
+cache), optionally in parallel::
+
+    python -m repro batch a.sig b.sig c.sig      # sequential, pooled manager
+    python -m repro batch *.sig --jobs 4         # 4 worker threads
+    python -m repro batch *.sig --repeat 3       # demonstrate cache hits
+    python -m repro batch *.sig --cache-stats    # print service statistics
+
+The single-file mode is a thin layer over
+:func:`repro.compiler.compile_source`; it exists so the compiler can be used
+like the original batch SIGNAL compiler.
 """
 
 from __future__ import annotations
@@ -20,20 +30,37 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from .codegen.ir import GenerationStyle
 from .compiler import compile_source
 from .errors import SignalError
 from .runtime import ReactiveExecutor, random_oracle, timing_diagram
+from .service import CompilationService
 
-__all__ = ["main", "build_argument_parser"]
+__all__ = ["main", "run_batch", "build_argument_parser", "build_batch_argument_parser"]
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be an integer (got {text!r})") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1 (got {value})")
+    return value
 
 
 def build_argument_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of the PLDI'95 SIGNAL compiler",
+        epilog=(
+            "Subcommand: 'repro batch <files...>' compiles many processes "
+            "through one compilation service (see 'repro batch --help'); a "
+            "source file literally named 'batch' must be passed as './batch'."
+        ),
     )
     parser.add_argument("source", help="path to a SIGNAL source file, or - for stdin")
     parser.add_argument(
@@ -60,6 +87,45 @@ def build_argument_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_batch_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Compile many SIGNAL processes through one CompilationService",
+    )
+    parser.add_argument("sources", nargs="+", help="paths to SIGNAL source files")
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="number of worker threads (default 1: sequential on the pooled manager)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=_positive_int,
+        default=1,
+        metavar="R",
+        help="compile the whole batch R times (later rounds hit the compile cache)",
+    )
+    parser.add_argument(
+        "--flat",
+        action="store_true",
+        help="generate flat single-loop code instead of nested code",
+    )
+    parser.add_argument(
+        "--max-entries",
+        type=_positive_int,
+        default=128,
+        help="capacity of the LRU compile cache (default 128, minimum 1)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the service statistics (JSON) after compiling",
+    )
+    return parser
+
+
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
@@ -67,7 +133,60 @@ def _read_source(path: str) -> str:
         return handle.read()
 
 
+def run_batch(argv: List[str]) -> int:
+    """The ``batch`` subcommand: compile many files on one service."""
+    parser = build_batch_argument_parser()
+    arguments = parser.parse_args(argv)
+
+    sources = []
+    for path in arguments.sources:
+        try:
+            sources.append(_read_source(path))
+        except OSError as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+
+    style = GenerationStyle.FLAT if arguments.flat else GenerationStyle.HIERARCHICAL
+    service = CompilationService(max_entries=arguments.max_entries)
+    for round_index in range(arguments.repeat):
+        started = time.perf_counter()
+        hits_before = service.statistics()["cache_hits"]
+        try:
+            results = service.compile_batch(sources, jobs=arguments.jobs, style=style)
+        except SignalError as batch_error:
+            # Identify the culprit: recompile sequentially (sources that
+            # already compiled are served from the cache, so this is cheap)
+            # and report the first failing path.
+            for path, source in zip(arguments.sources, sources):
+                try:
+                    service.compile(source, style=style)
+                except SignalError as error:
+                    print(f"error: {path}: {error}", file=sys.stderr)
+                    return 1
+            print(f"error: batch compilation failed: {batch_error}", file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - started
+        hits = service.statistics()["cache_hits"] - hits_before
+        print(
+            f"round {round_index + 1}: compiled {len(results)} program(s) "
+            f"in {elapsed * 1000.0:.1f} ms ({hits} cache hit(s))"
+        )
+        for path, result in zip(arguments.sources, results):
+            stats = result.statistics()
+            print(
+                f"  {path}: process {result.name}, {stats['classes']} classes, "
+                f"{stats['free_clocks']} free clock(s), {stats['unresolved']} unresolved"
+            )
+    if arguments.cache_stats:
+        print(json.dumps(service.statistics(), indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "batch":
+        return run_batch(list(argv[1:]))
     parser = build_argument_parser()
     arguments = parser.parse_args(argv)
 

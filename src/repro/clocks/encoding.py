@@ -22,7 +22,7 @@ values and is what identifies ``when (not C)`` with ``[¬C]``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 from ..bdd import BDD, BDDManager
 from ..lang.kernel import (
@@ -63,6 +63,24 @@ class ValueEncoder:
         self._in_progress: Set[str] = set()
         #: names of signals that received a fresh (opaque) value variable
         self.opaque_signals: Set[str] = set()
+        # A scope-persistent memo (signal -> (value BDD, is_opaque)) so that
+        # recompiling the same program on a pooled manager does not re-derive
+        # the value functions.  When the manager is a scoped view of a shared
+        # manager (the compilation service), its per-scope cache is picked up
+        # here.  Entries are bucketed by the program's kernel fingerprint, so
+        # even a scope (mis)used for two different programs can never serve
+        # one program's encodings to the other.
+        shared = getattr(manager, "encoding_cache", None)
+        if shared is not None:
+            shared = shared.setdefault(program.fingerprint(), {})
+            # Restore the whole memo eagerly so warm state (including the
+            # opacity of signals derived transitively on the cold run) is
+            # indistinguishable from a cold encoder's final state.
+            for signal, (value, opaque) in shared.items():
+                self._cache[signal] = value
+                if opaque:
+                    self.opaque_signals.add(signal)
+        self._shared_cache: Optional[Dict[str, Tuple[BDD, bool]]] = shared
 
     # -- public API -------------------------------------------------------
     def value_of(self, signal: str) -> BDD:
@@ -70,6 +88,14 @@ class ValueEncoder:
         cached = self._cache.get(signal)
         if cached is not None:
             return cached
+        if self._shared_cache is not None:
+            shared = self._shared_cache.get(signal)
+            if shared is not None:
+                value, opaque = shared
+                self._cache[signal] = value
+                if opaque:
+                    self.opaque_signals.add(signal)
+                return value
         if signal in self._in_progress:
             # A combinational cycle through boolean operators; the dependency
             # graph will reject the program later.  Fall back to an opaque
@@ -81,6 +107,8 @@ class ValueEncoder:
         finally:
             self._in_progress.discard(signal)
         self._cache[signal] = value
+        if self._shared_cache is not None:
+            self._shared_cache[signal] = (value, signal in self.opaque_signals)
         return value
 
     def is_opaque(self, signal: str) -> bool:

@@ -277,7 +277,13 @@ class ClockHierarchy:
             )
 
     def statistics(self) -> Dict[str, int]:
-        """Structural statistics used by the benchmarks (Figure 13 columns)."""
+        """Structural statistics used by the benchmarks (Figure 13 columns).
+
+        ``bdd_nodes`` counts the nodes reachable from this hierarchy's own
+        classes and is always per-program; ``bdd_nodes_total`` is the
+        manager-wide table size, so on a pooled (service) manager it covers
+        every program compiled on the pool.
+        """
         bdd_nodes = 0
         seen_refs: Set[int] = set()
         for clock_class in self.classes:

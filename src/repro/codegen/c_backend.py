@@ -140,6 +140,44 @@ def _emit(statement: Stmt, lines: List[str], indent: int) -> None:
         raise CodeGenerationError(f"unsupported statement {statement!r}")
 
 
+def _io_prototypes(ir: StepIR) -> List[str]:
+    """Extern prototypes for the environment hooks the step function calls.
+
+    With these declarations the generated file compiles cleanly as a
+    translation unit (``cc -c``); the environment supplies the definitions
+    at link time, exactly like the original compiler's runtime library.
+    """
+    reads: set = set()
+    writes: set = set()
+    uses_clock_input = False
+
+    def visit(statement: Stmt) -> None:
+        nonlocal uses_clock_input
+        if isinstance(statement, SetFlagRoot):
+            uses_clock_input = True
+        elif isinstance(statement, ReadInput):
+            reads.add(statement.signal)
+        elif isinstance(statement, EmitOutput):
+            writes.add(statement.signal)
+        elif isinstance(statement, Guard):
+            for inner in statement.body:
+                visit(inner)
+
+    for statement in ir.statements:
+        visit(statement)
+
+    prototypes: List[str] = []
+    if uses_clock_input:
+        prototypes.append("extern int read_clock_input(const char *name);")
+    for signal in sorted(reads):
+        c_type = _C_TYPES[ir.types[signal]]
+        prototypes.append(f"extern {c_type} read_input_{signal}(void);")
+    for signal in sorted(writes):
+        c_type = _C_TYPES[ir.types[signal]]
+        prototypes.append(f"extern void write_output_{signal}({c_type} value);")
+    return prototypes
+
+
 def generate_c_source(ir: StepIR) -> str:
     """Render the step IR as a self-contained C-like translation unit."""
     lines: List[str] = []
@@ -147,6 +185,10 @@ def generate_c_source(ir: StepIR) -> str:
     lines.append(f"/* style: {ir.style.value} */")
     lines.append("#include <stdbool.h>")
     lines.append("")
+    prototypes = _io_prototypes(ir)
+    if prototypes:
+        lines.extend(prototypes)
+        lines.append("")
 
     for register in ir.registers:
         c_type = _C_TYPES[register.type]

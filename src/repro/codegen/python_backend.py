@@ -18,7 +18,7 @@ The generated code is a plain Python class with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..errors import CodeGenerationError, SimulationError
@@ -243,6 +243,8 @@ class CompiledProcess:
     #: (input key, default) for every free clock of the program
     root_flags: List[Tuple[int, str, bool]]
     types: Dict[str, SignalType] = field(default_factory=dict)
+    #: whether the generated step supports the ``observe=`` parameter
+    observable: bool = True
 
     def step(
         self,
@@ -265,6 +267,40 @@ class CompiledProcess:
     def reset(self) -> None:
         self.step_instance.reset()
 
+    def fresh(self) -> "CompiledProcess":
+        """A new executable instance of the same compiled code.
+
+        The returned process shares the immutable artifacts (source, IR,
+        types) but has its own step instance with freshly initialized delay
+        registers, so its state is fully isolated from this one.  The
+        already-built step class is re-instantiated directly (the
+        ``observable=False`` wrapper lives on instances, never the class, so
+        the class is always pristine) -- no re-exec of the source.
+        """
+        instance = _prepare_step_instance(type(self.step_instance)(), self.observable)
+        return replace(self, step_instance=instance)
+
+
+def _prepare_step_instance(instance: object, observable: bool) -> object:
+    if not observable:
+        # Normalize the signature so CompiledProcess.step can always pass observe.
+        original_step = instance.step
+
+        def step_without_observe(inputs, oracle=None, observe=None):  # noqa: ANN001
+            return original_step(inputs, oracle)
+
+        instance.step = step_without_observe  # type: ignore[method-assign]
+    return instance
+
+
+def _instantiate_step(source: str, name: str, observable: bool) -> object:
+    """Execute generated step source and return a ready step instance."""
+    namespace: Dict[str, object] = {"SimulationError": SimulationError}
+    exec(compile(source, f"<generated {name}>", "exec"), namespace)
+    class_name = f"{name}_step".replace("-", "_")
+    step_class = namespace[class_name]
+    return _prepare_step_instance(step_class(), observable)  # type: ignore[operator]
+
 
 def compile_step(
     schedule: Schedule,
@@ -276,19 +312,7 @@ def compile_step(
     """Generate, execute and wrap the Python step for a scheduled program."""
     ir = build_step_ir(schedule, types, style, name)
     source = generate_python_source(ir, observable=observable)
-    namespace: Dict[str, object] = {"SimulationError": SimulationError}
-    exec(compile(source, f"<generated {ir.name}>", "exec"), namespace)
-    class_name = f"{ir.name}_step".replace("-", "_")
-    step_class = namespace[class_name]
-    instance = step_class()  # type: ignore[operator]
-    if not observable:
-        # Normalize the signature so CompiledProcess.step can always pass observe.
-        original_step = instance.step
-
-        def step_without_observe(inputs, oracle=None, observe=None):  # noqa: ANN001
-            return original_step(inputs, oracle)
-
-        instance.step = step_without_observe  # type: ignore[method-assign]
+    instance = _instantiate_step(source, ir.name, observable)
     return CompiledProcess(
         name=ir.name,
         style=style,
@@ -299,4 +323,5 @@ def compile_step(
         outputs=list(ir.outputs),
         root_flags=list(ir.root_flags),
         types=dict(types),
+        observable=observable,
     )

@@ -21,7 +21,10 @@ inspect every stage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # imported lazily to avoid a circular module import
+    from .service import CompilationService
 
 from .bdd import BDDManager
 from .clocks.equations import ClockSystem, extract_clock_system
@@ -102,9 +105,15 @@ def analyze_process(
     process: Process,
     manager: Optional[BDDManager] = None,
     check: bool = True,
+    program: Optional[KernelProgram] = None,
 ):
-    """Like :func:`analyze_source` for an already-parsed process."""
-    program = normalize(process)
+    """Like :func:`analyze_source` for an already-parsed process.
+
+    ``program`` optionally supplies the already-normalized kernel form (the
+    compilation service normalizes first to compute the cache key).
+    """
+    if program is None:
+        program = normalize(process)
     types = infer_types(program)
     clock_system = extract_clock_system(program, types)
     hierarchy = resolve(clock_system, manager=manager)
@@ -119,9 +128,28 @@ def compile_process(
     build_flat: bool = False,
     observable: bool = True,
     manager: Optional[BDDManager] = None,
+    program: Optional[KernelProgram] = None,
+    service: Optional["CompilationService"] = None,
 ) -> CompilationResult:
-    """Compile a parsed process through the complete pipeline."""
-    program, types, clock_system, hierarchy = analyze_process(process, manager=manager)
+    """Compile a parsed process through the complete pipeline.
+
+    Passing a :class:`repro.service.CompilationService` as ``service``
+    routes the compilation through its pooled manager and compile cache;
+    this is mutually exclusive with ``manager``/``program`` (the service
+    owns both).
+    """
+    if service is not None:
+        if manager is not None or program is not None:
+            raise ValueError(
+                "manager=/program= cannot be combined with service=: the "
+                "compilation service supplies its own pooled manager"
+            )
+        return service.compile_process(
+            process, style=style, build_flat=build_flat, observable=observable
+        )
+    program, types, clock_system, hierarchy = analyze_process(
+        process, manager=manager, program=program
+    )
 
     graph = build_dependency_graph(program)
     graph.check_causality(hierarchy)
@@ -153,8 +181,24 @@ def compile_source(
     build_flat: bool = False,
     observable: bool = True,
     manager: Optional[BDDManager] = None,
+    service: Optional["CompilationService"] = None,
 ) -> CompilationResult:
-    """Compile SIGNAL source text through the complete pipeline."""
+    """Compile SIGNAL source text through the complete pipeline.
+
+    Passing a :class:`repro.service.CompilationService` as ``service``
+    routes the compilation through its pooled manager and compile cache
+    (repeated or kernel-equivalent sources then return cached results);
+    this is mutually exclusive with ``manager`` (the service owns it).
+    """
+    if service is not None:
+        if manager is not None:
+            raise ValueError(
+                "manager= cannot be combined with service=: the compilation "
+                "service supplies its own pooled manager"
+            )
+        return service.compile(
+            source, style=style, build_flat=build_flat, observable=observable
+        )
     process = parse_process(source)
     return compile_process(
         process,

@@ -16,6 +16,7 @@ processes into that kernel:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -194,6 +195,39 @@ class KernelProgram:
         for process in self.processes:
             lines.append("  | " + str(process))
         return "\n".join(lines)
+
+    def canonical_form(self) -> str:
+        """A deterministic rendering used as the compile-cache key.
+
+        Desugaring is deterministic (fresh intermediates are numbered in
+        emission order), so two surface sources that normalize to the same
+        kernel -- e.g. the same program modulo whitespace -- have the same
+        canonical form.
+        """
+        lines = [
+            f"process {self.name}",
+            "in " + ",".join(self.inputs),
+            "out " + ",".join(self.outputs),
+            "loc " + ",".join(self.locals),
+            "types " + ";".join(
+                f"{name}:{type_name}"
+                for name, type_name in sorted(self.declared_types.items())
+            ),
+        ]
+        lines.extend(str(process) for process in self.processes)
+        return "\n".join(lines)
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical kernel form (the compile-cache key).
+
+        Computed once and memoized: a kernel program is treated as immutable
+        after :func:`normalize` returns it.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = hashlib.sha256(self.canonical_form().encode("utf-8")).hexdigest()
+            self.__dict__["_fingerprint"] = cached
+        return cached
 
 
 class _Normalizer:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..codegen.python_backend import CompiledProcess
 from ..lang.types import SignalType
@@ -61,11 +61,16 @@ class ExecutionTrace:
 
 def random_oracle(
     types: Mapping[str, SignalType],
-    seed: int = 0,
+    seed: Union[int, random.Random] = 0,
     integer_range: Sequence[int] = (-10, 10),
 ) -> Callable[[str], object]:
-    """An oracle producing reproducible pseudo-random input values by type."""
-    generator = random.Random(seed)
+    """An oracle producing reproducible pseudo-random input values by type.
+
+    ``seed`` may be an integer or directly a ``random.Random`` instance.
+    Passing one explicit generator end-to-end lets the fuzz harness derive
+    every random decision of a test case from a single reported seed.
+    """
+    generator = seed if isinstance(seed, random.Random) else random.Random(seed)
     low, high = integer_range
 
     def oracle(signal: str) -> object:

@@ -1,0 +1,14 @@
+"""Compilation-as-a-service layer: BDD pooling, compile caching, batching.
+
+* :mod:`repro.service.cache` -- a thread-safe LRU plus the fingerprint
+  helpers used to key compilation results;
+* :mod:`repro.service.service` -- :class:`CompilationService`, the
+  long-lived front end that pools a shared BDD manager across compilations
+  (with per-program variable namespaces), memoizes whole compilation
+  results, and fans batches of sources out to worker threads.
+"""
+
+from .cache import CacheStats, LRUCache, source_digest
+from .service import CompilationService
+
+__all__ = ["CacheStats", "LRUCache", "source_digest", "CompilationService"]

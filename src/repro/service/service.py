@@ -1,0 +1,345 @@
+"""The compilation service: pooled BDD manager + compile cache + batching.
+
+A :class:`CompilationService` is the long-lived, repeated-traffic front end
+of the compiler:
+
+* it owns one shared :class:`~repro.bdd.BDDManager` whose unique table and
+  ``ite`` computed cache persist across compilations; every program gets a
+  namespaced *scope* of the manager (see
+  :class:`~repro.bdd.ScopedBDDManager`), so unrelated programs never share
+  clock variables while recompilations of the same program reuse its
+  variables, value encodings and cached ``ite`` results;
+* it memoizes whole :class:`~repro.compiler.CompilationResult` objects in a
+  bounded LRU keyed by the **normalized kernel program fingerprint** (plus
+  the code-generation options), with a source-text fast path for exact
+  repeats -- kernel-equivalent sources (e.g. reformatted text) share one
+  entry;
+* :meth:`CompilationService.compile_batch` compiles many sources
+  concurrently on per-worker managers (the pooled manager is not
+  thread-safe) and merges the statistics.
+
+Cache hits return a copy of the cached ``CompilationResult`` carrying fresh
+executable instances (rebuilt from the cached generated source), so a hit
+behaves exactly like a fresh compilation and callers' simulation states are
+fully isolated; the analysis artifacts (hierarchy, schedule, sources) are
+shared.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..bdd import BDDManager, ScopedBDDManager
+from ..codegen.ir import GenerationStyle
+from ..compiler import CompilationResult, compile_process
+from ..lang.ast import Process
+from ..lang.kernel import KernelProgram, normalize
+from ..lang.parser import parse_process
+from .cache import LRUCache, source_digest
+
+__all__ = ["CompilationService"]
+
+#: cache key: (kernel fingerprint, style, build_flat, observable)
+_CacheKey = Tuple[str, GenerationStyle, bool, bool]
+
+
+class CompilationService:
+    """A stateful compiler front end that pools BDDs and caches results.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity of the LRU compile cache (whole compilation results).
+    manager:
+        Optionally, an existing shared manager to pool on (a fresh one is
+        created by default).
+
+    ``compile``/``compile_process`` are meant to be called from one thread
+    (the pooled manager is not thread-safe); ``compile_batch`` is the
+    concurrent entry point and isolates workers on their own managers.
+    """
+
+    def __init__(self, max_entries: int = 128, manager: Optional[BDDManager] = None):
+        self.manager = manager if manager is not None else BDDManager()
+        self._results: LRUCache[CompilationResult] = LRUCache(
+            max_entries, on_evict=self._on_result_evicted
+        )
+        # Source-text digest -> kernel fingerprint (exact-repeat fast path).
+        self._source_fingerprints: LRUCache[str] = LRUCache(max(max_entries * 4, 16))
+        # (manager identity, namespace) -> scope; managers are kept alive for
+        # the service's lifetime, so id() keys are stable.
+        self._scopes: Dict[Tuple[int, str], ScopedBDDManager] = {}
+        self._lock = threading.RLock()
+        # Idle worker managers, checked out for the duration of one batch
+        # compilation and returned afterwards: the pool is bounded by the
+        # highest concurrency ever used and reused across batches.
+        self._idle_workers: "queue.SimpleQueue[BDDManager]" = queue.SimpleQueue()
+        self._worker_managers: List[BDDManager] = []
+        self._requests = 0
+
+    # -- cache plumbing -----------------------------------------------------
+    @staticmethod
+    def _key(
+        fingerprint: str,
+        style: GenerationStyle,
+        build_flat: bool,
+        observable: bool,
+    ) -> _CacheKey:
+        return (fingerprint, style, build_flat, observable)
+
+    def _scope_for(self, manager: BDDManager, fingerprint: str) -> ScopedBDDManager:
+        """The persistent per-program scope of a manager.
+
+        Scopes are cached per (manager, program) so a recompilation -- on the
+        pooled manager or on a reused worker manager -- finds its variables
+        and value encodings again.  The full fingerprint is the namespace:
+        distinct kernels can never share a scope.
+        """
+        key = (id(manager), fingerprint)
+        with self._lock:
+            scope = self._scopes.get(key)
+            if scope is None:
+                scope = manager.scoped(fingerprint)
+                self._scopes[key] = scope
+            return scope
+
+    def _release_orphan_scopes(self, fingerprint: str) -> None:
+        """Drop a program's scopes when no cached result references it.
+
+        The scope and its encoding cache hold BDD handles; releasing them
+        keeps the service's bookkeeping bounded by the LRU under varied
+        traffic.  (Nodes already interned in a manager's unique table are
+        not reclaimed -- recycling the table is a ROADMAP follow-up.)
+        """
+        if any(key[0] == fingerprint for key in self._results.keys()):
+            return  # another style/options entry still uses this program
+        with self._lock:
+            stale = [k for k in self._scopes if k[1] == fingerprint]
+            for scope_key in stale:
+                self._scopes.pop(scope_key).encoding_cache.clear()
+
+    def _on_result_evicted(self, key, value) -> None:
+        self._release_orphan_scopes(key[0])
+
+    def _compile_program(
+        self,
+        process: Process,
+        program: KernelProgram,
+        fingerprint: str,
+        style: GenerationStyle,
+        build_flat: bool,
+        observable: bool,
+        manager: BDDManager,
+    ) -> CompilationResult:
+        scope = self._scope_for(manager, fingerprint)
+        return compile_process(
+            process,
+            style=style,
+            build_flat=build_flat,
+            observable=observable,
+            manager=scope,
+            program=program,
+        )
+
+    def _compile_cached(
+        self,
+        source: Optional[str],
+        process: Optional[Process],
+        style: GenerationStyle,
+        build_flat: bool,
+        observable: bool,
+        manager_supplier: "Callable[[], BDDManager]",
+    ) -> CompilationResult:
+        with self._lock:
+            self._requests += 1
+
+        digest = None
+        counted_miss = False
+        if source is not None:
+            digest = source_digest(source)
+            fingerprint = self._source_fingerprints.get(digest)
+            if fingerprint is not None:
+                cached = self._results.get(
+                    self._key(fingerprint, style, build_flat, observable)
+                )
+                if cached is not None:
+                    return self._fresh_hit(cached)
+                counted_miss = True
+                # Known program, options not cached yet: reparse below (the
+                # kernel form is needed by the pipeline anyway).
+
+        if process is None:
+            assert source is not None
+            process = parse_process(source)
+        program = normalize(process)
+        fingerprint = program.fingerprint()
+        if digest is not None:
+            self._source_fingerprints.put(digest, fingerprint)
+
+        key = self._key(fingerprint, style, build_flat, observable)
+        # The fast path above already charged this request with a miss; avoid
+        # double counting while still honouring a concurrent batch worker
+        # that may have filled the entry in the meantime.
+        cached = self._results.peek(key) if counted_miss else self._results.get(key)
+        if cached is not None:
+            return self._fresh_hit(cached)
+
+        # Only a genuine miss needs a manager (batch workers check one out
+        # of the pool lazily here, so fully-warm batches allocate nothing).
+        try:
+            result = self._compile_program(
+                process, program, fingerprint, style, build_flat, observable,
+                manager_supplier(),
+            )
+        except Exception:
+            # A failed compilation stores no result, so nothing would ever
+            # evict the scope registered above -- release it now.
+            self._release_orphan_scopes(fingerprint)
+            raise
+        self._results.put(key, result)
+        return result
+
+    @staticmethod
+    def _fresh_hit(result: CompilationResult) -> CompilationResult:
+        """Restore fresh-compile semantics on a cache hit.
+
+        The cached executables carry mutable delay-register state, so the
+        hit returns a copy of the result with brand-new step instances
+        (rebuilt from the cached generated source -- a tiny cost next to the
+        pipeline): every caller gets isolated simulation state, and a hit
+        can never perturb an earlier caller's in-progress run.  The analysis
+        artifacts (hierarchy, schedule, IR, sources) are shared.
+        """
+        executable = result.executable.fresh()
+        executable_flat = (
+            result.executable_flat.fresh() if result.executable_flat is not None else None
+        )
+        return replace(result, executable=executable, executable_flat=executable_flat)
+
+    # -- public API ---------------------------------------------------------
+    def compile(
+        self,
+        source: str,
+        style: GenerationStyle = GenerationStyle.HIERARCHICAL,
+        build_flat: bool = False,
+        observable: bool = True,
+    ) -> CompilationResult:
+        """Compile SIGNAL source text, reusing pooled BDDs and cached results.
+
+        Cache misses compile on the pooled manager.  A hit may return a
+        result originally produced by :meth:`compile_batch`, whose BDDs live
+        on that batch's worker manager instead -- the result is identical in
+        behaviour, but do not combine its clock BDDs with those of a
+        pooled-manager result (check ``result.hierarchy.manager``).
+        """
+        return self._compile_cached(
+            source, None, style, build_flat, observable, lambda: self.manager
+        )
+
+    def compile_process(
+        self,
+        process: Process,
+        style: GenerationStyle = GenerationStyle.HIERARCHICAL,
+        build_flat: bool = False,
+        observable: bool = True,
+    ) -> CompilationResult:
+        """Like :meth:`compile` for an already-parsed process."""
+        return self._compile_cached(
+            None, process, style, build_flat, observable, lambda: self.manager
+        )
+
+    def compile_batch(
+        self,
+        sources: Iterable[str],
+        jobs: int = 1,
+        style: GenerationStyle = GenerationStyle.HIERARCHICAL,
+        build_flat: bool = False,
+        observable: bool = True,
+    ) -> List[CompilationResult]:
+        """Compile many sources, optionally with ``jobs`` worker threads.
+
+        Results come back in input order.  Workers that miss the cache
+        compile on a worker manager checked out from a persistent pool (at
+        most one per concurrently running job, reused across batches) so the
+        shared pooled manager is never touched concurrently; all results
+        land in the shared compile cache.  BDDs of a batch-compiled result
+        are therefore bound to its worker manager, not to ``self.manager``
+        -- combine clock BDDs across results only when both were compiled
+        sequentially.  If the same program appears twice in one batch it may
+        be compiled by two workers; the cache keeps whichever finishes last,
+        which is harmless because compilation is deterministic.
+        """
+        source_list = list(sources)
+        if jobs <= 1:
+            return [
+                self.compile(s, style=style, build_flat=build_flat, observable=observable)
+                for s in source_list
+            ]
+
+        def work(source: str) -> CompilationResult:
+            checked_out: List[BDDManager] = []
+
+            def supplier() -> BDDManager:
+                manager = self._checkout_worker_manager()
+                checked_out.append(manager)
+                return manager
+
+            try:
+                return self._compile_cached(
+                    source, None, style, build_flat, observable, supplier
+                )
+            finally:
+                for manager in checked_out:
+                    self._idle_workers.put(manager)
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(work, source_list))
+
+    def _checkout_worker_manager(self) -> BDDManager:
+        try:
+            return self._idle_workers.get_nowait()
+        except queue.Empty:
+            manager = BDDManager()
+            with self._lock:
+                self._worker_managers.append(manager)
+            return manager
+
+    # -- maintenance and reporting ------------------------------------------
+    def clear_cache(self) -> None:
+        """Drop cached results and scopes (interned pooled BDDs are kept)."""
+        self._results.clear()
+        self._source_fingerprints.clear()
+        with self._lock:
+            for scope in self._scopes.values():
+                scope.encoding_cache.clear()
+            self._scopes.clear()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._results)
+
+    def statistics(self) -> Dict[str, int]:
+        """Counters for monitoring: cache behaviour and pool sizes."""
+        with self._lock:
+            worker_nodes = sum(m.num_nodes for m in self._worker_managers)
+            worker_count = len(self._worker_managers)
+            requests = self._requests
+        stats = {
+            "requests": requests,
+            "cache_entries": len(self._results),
+            "cache_max_entries": self._results.max_entries,
+            "scopes": len(self._scopes),
+            "source_fast_path_hits": self._source_fingerprints.stats.hits,
+            "pooled_bdd_nodes": self.manager.num_nodes,
+            "pooled_bdd_vars": self.manager.num_vars,
+            "worker_managers": worker_count,
+            "worker_bdd_nodes": worker_nodes,
+        }
+        stats.update(
+            {f"cache_{name}": value for name, value in self._results.stats.as_dict().items()}
+        )
+        return stats

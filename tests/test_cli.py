@@ -63,6 +63,56 @@ class TestEmit:
         assert "^N" in capsys.readouterr().out
 
 
+class TestBatch:
+    def test_batch_compiles_many_files(self, counter_file, alarm_file, capsys):
+        assert main(["batch", counter_file, alarm_file]) == 0
+        output = capsys.readouterr().out
+        assert "compiled 2 program(s)" in output
+        assert "process COUNT" in output
+        assert "process ALARM" in output
+
+    def test_batch_repeat_hits_the_cache(self, counter_file, capsys):
+        assert main(["batch", counter_file, "--repeat", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "round 2: compiled 1 program(s)" in output
+        assert "(1 cache hit(s))" in output
+
+    def test_batch_cache_stats_json(self, counter_file, alarm_file, capsys):
+        assert main(["batch", counter_file, alarm_file, "--jobs", "2", "--cache-stats"]) == 0
+        output = capsys.readouterr().out
+        stats = json.loads(output[output.index("{"):])
+        assert stats["requests"] == 2
+        assert stats["cache_entries"] == 2
+
+    def test_batch_rejects_non_positive_max_entries(self, counter_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", counter_file, "--max-entries", "0"])
+        assert excinfo.value.code == 2
+        assert "must be at least 1" in capsys.readouterr().err
+
+    def test_batch_missing_file_reports_error(self, counter_file, capsys):
+        assert main(["batch", counter_file, "/nonexistent/program.sig"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_batch_compile_error_reports_and_fails(self, tmp_path, capsys):
+        path = tmp_path / "broken.sig"
+        path.write_text(
+            "process P = ( ? integer A; ! integer X, Y; ) (| X := Y + A | Y := X + A |) end;"
+        )
+        assert main(["batch", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_compile_error_names_the_failing_file(
+        self, counter_file, tmp_path, capsys
+    ):
+        path = tmp_path / "broken.sig"
+        path.write_text(
+            "process P = ( ? integer A; ! integer X, Y; ) (| X := Y + A | Y := X + A |) end;"
+        )
+        assert main(["batch", counter_file, str(path), "--jobs", "2"]) == 1
+        assert "broken.sig" in capsys.readouterr().err
+
+
 class TestSimulationAndErrors:
     def test_simulate_prints_timing_diagram(self, alarm_file, capsys):
         assert main([alarm_file, "--simulate", "5", "--seed", "3"]) == 0

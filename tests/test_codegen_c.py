@@ -32,9 +32,10 @@ class TestCSource:
         """Access to a signal's variable is guarded by a presence test (Section 2.6)."""
         source = alarm_result.c_source()
         assert re.search(r"if \(h\d+\) \{", source)
-        # The sensors are only read inside a guard.
+        # The sensors are only read inside a guard (the extern prototype at
+        # the top of the file is not a read -- match the call site).
         read_line_indent = [
-            line for line in source.splitlines() if "read_input_STOP_OK" in line
+            line for line in source.splitlines() if "= read_input_STOP_OK()" in line
         ][0]
         assert read_line_indent.startswith("        ")  # nested at least two levels
 

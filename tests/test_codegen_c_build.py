@@ -1,0 +1,83 @@
+"""Build the generated C with a real compiler (smoke test).
+
+``test_codegen_c.py`` only inspects the emitted source; here the alarm and
+stopwatch examples are actually compiled as translation units with the
+system C compiler (skipped when none is installed).  The emitted extern
+prototypes for the environment hooks (``read_input_*`` / ``write_output_*``
+/ ``read_clock_input``) are what makes ``cc -c`` succeed without warnings
+about implicit declarations.
+"""
+
+import pathlib
+import runpy
+import shutil
+import subprocess
+
+import pytest
+
+from repro import CompilationService, GenerationStyle
+from repro.programs import ALARM_SOURCE
+
+CC = shutil.which("cc") or shutil.which("gcc")
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def stopwatch_source():
+    """The STOPWATCH process defined by the stopwatch example script."""
+    module = runpy.run_path(str(EXAMPLES_DIR / "stopwatch.py"), run_name="example")
+    return module["STOPWATCH"]
+
+
+SOURCES = {
+    "alarm": ALARM_SOURCE,
+    "stopwatch": stopwatch_source(),
+}
+
+_SERVICE = CompilationService()
+
+
+def compile_c(tmp_path, name, c_source):
+    path = tmp_path / f"{name}.c"
+    path.write_text(c_source)
+    completed = subprocess.run(
+        [CC, "-std=c99", "-Wall", "-c", "-o", str(tmp_path / f"{name}.o"), str(path)],
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, (
+        f"cc failed for {name}:\n{completed.stdout}\n{completed.stderr}"
+    )
+    return completed
+
+
+@pytest.mark.skipif(CC is None, reason="no C compiler installed")
+@pytest.mark.parametrize("name", sorted(SOURCES))
+@pytest.mark.parametrize("style", [GenerationStyle.HIERARCHICAL, GenerationStyle.FLAT])
+def test_generated_c_builds_cleanly(tmp_path, name, style):
+    result = _SERVICE.compile(SOURCES[name])
+    compile_c(tmp_path, f"{name}_{style.value}", result.c_source(style))
+
+
+@pytest.mark.skipif(CC is None, reason="no C compiler installed")
+def test_generated_c_has_no_implicit_declarations(tmp_path):
+    """The prototypes must cover every environment hook the step calls."""
+    result = _SERVICE.compile(ALARM_SOURCE)
+    source = result.c_source()
+    path = tmp_path / "alarm_strict.c"
+    path.write_text(source)
+    completed = subprocess.run(
+        [
+            CC,
+            "-std=c99",
+            "-Wall",
+            "-Werror=implicit-function-declaration",
+            "-c",
+            "-o",
+            str(tmp_path / "alarm_strict.o"),
+            str(path),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stderr

@@ -1,12 +1,17 @@
 #!/usr/bin/env python
-"""Cold vs warm compile throughput of the compilation service.
+"""Cold vs warm vs warm-restart compile throughput of the service layer.
 
 The service compiles the Figure-13 generated suite once cold (empty cache,
 fresh pooled manager) and then re-compiles it for several warm rounds; warm
 rounds are served from the LRU compile cache keyed by kernel fingerprints.
-The script prints a per-program table and fails (exit code 1) when the warm
-speedup drops below ``--min-speedup`` (default 5x), so CI catches
-regressions in the cache path.
+A third phase measures the *warm restart*: a compilation daemon engine
+populates a disk :class:`~repro.service.store.CompileStore`, is thrown
+away, and a brand-new engine (fresh pool, empty memory caches -- exactly a
+restarted ``python -m repro serve``) answers the whole suite again from the
+store alone.  The script prints a per-program table and fails (exit code 1)
+when the warm speedup drops below ``--min-speedup`` (default 5x) or the
+restart speedup drops below ``--min-restart-speedup`` (default 2x), so CI
+catches regressions in both cache paths.
 
 Usage::
 
@@ -21,6 +26,7 @@ import argparse
 import json
 import pathlib
 import sys
+import tempfile
 import time
 from typing import Dict, List
 
@@ -29,7 +35,7 @@ try:
 except ImportError:  # direct invocation without PYTHONPATH=src
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.service import CompilationService
+from repro.service import CompilationDaemon, CompilationService, CompileStore
 from repro.programs import benchmark_names, benchmark_source
 
 QUICK_PROGRAMS = ["ROBOT", "PACE_MAKER", "SUPERVISOR", "CHRONO"]
@@ -61,12 +67,52 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="fail when cold/warm falls below this factor (default 5.0)",
     )
     parser.add_argument(
+        "--min-restart-speedup",
+        type=float,
+        default=2.0,
+        help=(
+            "fail when cold/warm-restart (disk store, fresh engine) falls "
+            "below this factor (default 2.0)"
+        ),
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the warm-restart compile store "
+            "(default: a temporary directory)"
+        ),
+    )
+    parser.add_argument(
         "--no-check",
         action="store_true",
-        help="report only; never fail on the speedup threshold",
+        help="report only; never fail on the speedup thresholds",
     )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     return parser.parse_args(argv)
+
+
+def run_restart_case(names, sources, store_dir):
+    """The warm-restart measurement: populate a store, restart, re-answer.
+
+    Returns ``(restart_seconds, origins, engine_stats)``; every origin must
+    be ``"store"`` for the restart to count as warm.
+    """
+    seeder = CompilationDaemon(store=CompileStore(store_dir))
+    for name in names:
+        seeder.compile_record(sources[name])
+    del seeder  # the "kill": only the directory survives
+
+    engine = CompilationDaemon(store=CompileStore(store_dir))
+    restart: Dict[str, float] = {}
+    origins: Dict[str, str] = {}
+    for name in names:
+        started = time.perf_counter()
+        _, origin = engine.compile_record(sources[name])
+        restart[name] = time.perf_counter() - started
+        origins[name] = origin
+    return restart, origins, engine.statistics()
 
 
 def run(argv=None) -> int:
@@ -105,6 +151,19 @@ def run(argv=None) -> int:
     speedup = cold_total / warm_total if warm_total > 0 else float("inf")
     stats = service.statistics()
 
+    if arguments.store_dir is not None:
+        restart, restart_origins, restart_stats = run_restart_case(
+            names, sources, arguments.store_dir
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-store-") as temp_dir:
+            restart, restart_origins, restart_stats = run_restart_case(
+                names, sources, temp_dir
+            )
+    restart_total = sum(restart.values())
+    restart_speedup = cold_total / restart_total if restart_total > 0 else float("inf")
+    restart_warm = all(origin == "store" for origin in restart_origins.values())
+
     report = {
         "programs": names,
         "cold_seconds": cold,
@@ -115,6 +174,12 @@ def run(argv=None) -> int:
         "speedup": speedup,
         "cold_throughput_per_s": len(names) / cold_total if cold_total else float("inf"),
         "warm_throughput_per_s": len(names) / warm_total if warm_total else float("inf"),
+        "restart_seconds": restart,
+        "restart_total_seconds": restart_total,
+        "restart_speedup": restart_speedup,
+        "restart_all_from_store": restart_warm,
+        "restart_daemon": restart_stats["daemon"],
+        "restart_store": restart_stats["store"],
         "service": stats,
     }
 
@@ -122,31 +187,57 @@ def run(argv=None) -> int:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         width = max(len(name) for name in names)
-        print(f"{'program':<{width}}  {'cold (ms)':>10}  {'warm (ms)':>10}  {'speedup':>8}")
+        print(
+            f"{'program':<{width}}  {'cold (ms)':>10}  {'warm (ms)':>10}  "
+            f"{'restart (ms)':>12}  {'speedup':>8}"
+        )
         for name in names:
             per_program = cold[name] / warm[name] if warm[name] > 0 else float("inf")
             print(
                 f"{name:<{width}}  {cold[name] * 1000.0:>10.2f}  "
-                f"{warm[name] * 1000.0:>10.2f}  {per_program:>7.1f}x"
+                f"{warm[name] * 1000.0:>10.2f}  {restart[name] * 1000.0:>12.2f}  "
+                f"{per_program:>7.1f}x"
             )
         print(
             f"{'TOTAL':<{width}}  {cold_total * 1000.0:>10.2f}  "
-            f"{warm_total * 1000.0:>10.2f}  {speedup:>7.1f}x"
+            f"{warm_total * 1000.0:>10.2f}  {restart_total * 1000.0:>12.2f}  "
+            f"{speedup:>7.1f}x"
         )
         print(
             f"cache: {stats['cache_hits']} hits / {stats['cache_misses']} misses, "
             f"{stats['pooled_bdd_nodes']} pooled BDD nodes, "
             f"{stats['scopes']} scopes"
         )
-
-    if not arguments.no_check and speedup < arguments.min_speedup:
         print(
-            f"FAIL: warm recompilation speedup {speedup:.1f}x is below the "
-            f"required {arguments.min_speedup:.1f}x",
-            file=sys.stderr,
+            f"warm restart: {restart_speedup:.1f}x over cold, "
+            f"{report['restart_daemon']['store_hits']} store hit(s), "
+            f"all from store: {restart_warm}"
         )
-        return 1
-    return 0
+
+    failed = False
+    if not arguments.no_check:
+        if speedup < arguments.min_speedup:
+            print(
+                f"FAIL: warm recompilation speedup {speedup:.1f}x is below the "
+                f"required {arguments.min_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            failed = True
+        if not restart_warm:
+            print(
+                "FAIL: a restarted engine did not answer every repeat compile "
+                f"from the disk store (origins: {restart_origins})",
+                file=sys.stderr,
+            )
+            failed = True
+        if restart_speedup < arguments.min_restart_speedup:
+            print(
+                f"FAIL: warm-restart speedup {restart_speedup:.1f}x is below "
+                f"the required {arguments.min_restart_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

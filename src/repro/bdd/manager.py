@@ -202,6 +202,22 @@ class BDDManager:
         """Total number of decision nodes ever created (terminals excluded)."""
         return len(self._nodes) - 2
 
+    def statistics(self) -> Dict[str, int]:
+        """Size counters for monitoring and pool-hygiene decisions.
+
+        The unique table and the variable registry are append-only -- nodes
+        interned by dead programs are never reclaimed individually.  A
+        long-lived owner (the compilation service) therefore watches
+        ``nodes`` against a watermark and *recycles* the whole manager when
+        the budget is exceeded, rather than garbage-collecting inside it.
+        """
+        return {
+            "nodes": self.num_nodes,
+            "vars": self.num_vars,
+            "unique_table_entries": len(self._unique),
+            "ite_cache_entries": len(self._ite_cache),
+        }
+
     # -- terminals and variables ----------------------------------------------
     @property
     def true(self) -> BDD:

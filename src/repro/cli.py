@@ -19,6 +19,15 @@ cache), optionally in parallel::
     python -m repro batch *.sig --jobs 4         # 4 worker threads
     python -m repro batch *.sig --repeat 3       # demonstrate cache hits
     python -m repro batch *.sig --cache-stats    # print service statistics
+    python -m repro batch *.sig --max-pool-nodes 200000   # recycle watermark
+
+``python -m repro serve`` keeps one service alive behind a JSON-line socket
+protocol so many OS processes share its pool and caches, and
+``python -m repro remote-compile`` is the matching client::
+
+    python -m repro serve --port 7420 --store .repro-cache
+    python -m repro remote-compile a.sig --port 7420 --emit python
+    python -m repro remote-compile a.sig --port 7420 --simulate 10 --stats
 
 The single-file mode is a thin layer over
 :func:`repro.compiler.compile_source`; it exists so the compiler can be used
@@ -37,9 +46,18 @@ from .codegen.ir import GenerationStyle
 from .compiler import compile_source
 from .errors import SignalError
 from .runtime import ReactiveExecutor, random_oracle, timing_diagram
-from .service import CompilationService
+from .service import CompilationDaemon, CompilationService, RemoteCompiler, RemoteError
 
-__all__ = ["main", "run_batch", "build_argument_parser", "build_batch_argument_parser"]
+__all__ = [
+    "main",
+    "run_batch",
+    "run_serve",
+    "run_remote_compile",
+    "build_argument_parser",
+    "build_batch_argument_parser",
+    "build_serve_argument_parser",
+    "build_remote_argument_parser",
+]
 
 
 def _positive_int(text: str) -> int:
@@ -57,9 +75,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of the PLDI'95 SIGNAL compiler",
         epilog=(
-            "Subcommand: 'repro batch <files...>' compiles many processes "
-            "through one compilation service (see 'repro batch --help'); a "
-            "source file literally named 'batch' must be passed as './batch'."
+            "Subcommands: 'repro batch <files...>' compiles many processes "
+            "through one compilation service, 'repro serve' starts the "
+            "compilation daemon, 'repro remote-compile <files...>' compiles "
+            "on a running daemon (see 'repro <subcommand> --help'); a source "
+            "file literally named like a subcommand must be passed as "
+            "'./batch', './serve', ..."
         ),
     )
     parser.add_argument("source", help="path to a SIGNAL source file, or - for stdin")
@@ -119,9 +140,111 @@ def build_batch_argument_parser() -> argparse.ArgumentParser:
         help="capacity of the LRU compile cache (default 128, minimum 1)",
     )
     parser.add_argument(
+        "--max-pool-nodes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "pool-hygiene watermark: recycle the pooled BDD manager when it "
+            "exceeds N nodes (default: never)"
+        ),
+    )
+    parser.add_argument(
         "--cache-stats",
         action="store_true",
         help="print the service statistics (JSON) after compiling",
+    )
+    return parser
+
+
+def build_serve_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the compilation daemon: one long-lived CompilationService "
+            "behind a JSON-line TCP or unix-socket protocol"
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="N",
+        help="TCP port (default 0: pick a free port and print it)",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve on a unix domain socket instead of TCP",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory of the persistent compile store; the daemon starts "
+            "warm from it and spills new compilations into it"
+        ),
+    )
+    parser.add_argument(
+        "--max-entries",
+        type=_positive_int,
+        default=128,
+        help="capacity of the in-memory caches (default 128, minimum 1)",
+    )
+    parser.add_argument(
+        "--max-pool-nodes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "pool-hygiene watermark: recycle the pooled BDD manager when it "
+            "exceeds N nodes (default: never)"
+        ),
+    )
+    return parser
+
+
+def build_remote_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro remote-compile",
+        description="Compile SIGNAL sources on a running compilation daemon",
+    )
+    parser.add_argument("sources", nargs="+", help="paths to SIGNAL source files")
+    parser.add_argument("--host", default="127.0.0.1", help="daemon host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None, metavar="N", help="daemon TCP port")
+    parser.add_argument(
+        "--socket", default=None, metavar="PATH", help="daemon unix socket path"
+    )
+    parser.add_argument(
+        "--emit",
+        choices=["tree", "clocks", "python", "c", "stats", "kernel"],
+        default="tree",
+        help="artifact to print per file (default: the forest of clock trees)",
+    )
+    parser.add_argument(
+        "--flat",
+        action="store_true",
+        help="generate flat single-loop code instead of nested code",
+    )
+    parser.add_argument(
+        "--simulate",
+        type=int,
+        metavar="N",
+        default=0,
+        help="additionally run N reactions on the daemon and print the timing diagram",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for the --simulate random inputs"
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the daemon's cache statistics (JSON) after compiling",
     )
     return parser
 
@@ -147,7 +270,9 @@ def run_batch(argv: List[str]) -> int:
             return 2
 
     style = GenerationStyle.FLAT if arguments.flat else GenerationStyle.HIERARCHICAL
-    service = CompilationService(max_entries=arguments.max_entries)
+    service = CompilationService(
+        max_entries=arguments.max_entries, max_pool_nodes=arguments.max_pool_nodes
+    )
     for round_index in range(arguments.repeat):
         started = time.perf_counter()
         hits_before = service.statistics()["cache_hits"]
@@ -182,11 +307,119 @@ def run_batch(argv: List[str]) -> int:
     return 0
 
 
+def run_serve(argv: List[str]) -> int:
+    """The ``serve`` subcommand: run the compilation daemon until killed."""
+    parser = build_serve_argument_parser()
+    arguments = parser.parse_args(argv)
+
+    daemon = CompilationDaemon(
+        store=arguments.store,
+        max_entries=arguments.max_entries,
+        max_pool_nodes=arguments.max_pool_nodes,
+    )
+
+    def announce() -> None:
+        if arguments.socket is not None:
+            print(f"repro daemon listening on unix socket {arguments.socket}", flush=True)
+        else:
+            host, port = daemon.address
+            print(f"repro daemon listening on {host}:{port}", flush=True)
+        if arguments.store is not None:
+            store_stats = daemon.store.statistics()
+            print(
+                f"compile store: {arguments.store} "
+                f"({store_stats['entries']} entr{'y' if store_stats['entries'] == 1 else 'ies'} "
+                f"on disk)",
+                flush=True,
+            )
+
+    try:
+        daemon.run(
+            host=arguments.host,
+            port=arguments.port,
+            socket_path=arguments.socket,
+            on_ready=announce,
+        )
+    except OSError as error:
+        print(f"error: cannot bind: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def run_remote_compile(argv: List[str]) -> int:
+    """The ``remote-compile`` subcommand: compile on a running daemon."""
+    parser = build_remote_argument_parser()
+    arguments = parser.parse_args(argv)
+    if (arguments.port is None) == (arguments.socket is None):
+        print("error: exactly one of --port or --socket is required", file=sys.stderr)
+        return 2
+
+    style = GenerationStyle.FLAT if arguments.flat else GenerationStyle.HIERARCHICAL
+    try:
+        client = RemoteCompiler(
+            host=arguments.host, port=arguments.port, socket_path=arguments.socket
+        )
+    except OSError as error:
+        print(f"error: cannot connect to the daemon: {error}", file=sys.stderr)
+        return 2
+
+    status = 0
+    with client:
+        for path in arguments.sources:
+            try:
+                source = _read_source(path)
+            except OSError as error:
+                print(f"error: cannot read {path}: {error}", file=sys.stderr)
+                return 2
+            try:
+                result = client.compile(
+                    source,
+                    style=style,
+                    emit=[arguments.emit],
+                    simulate=arguments.simulate,
+                    seed=arguments.seed,
+                )
+            except RemoteError as error:
+                print(f"error: {path}: {error}", file=sys.stderr)
+                status = 1
+                continue
+            if len(arguments.sources) > 1:
+                print(f"== {path}: process {result.name} [{result.origin}]")
+            artifact = result.artifacts[arguments.emit]
+            if arguments.emit == "stats":
+                print(json.dumps(artifact, indent=2, sort_keys=True))
+            else:
+                print(artifact)
+            if result.simulation is not None:
+                print()
+                print(
+                    f"simulation ({result.simulation['reactions']} reactions, "
+                    f"seed {result.simulation['seed']}):"
+                )
+                print(result.simulation["diagram"])
+        if arguments.stats:
+            try:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            except RemoteError as error:
+                print(f"error: {error}", file=sys.stderr)
+                status = 1
+    return status
+
+
+#: names reserved by ``main`` and their runners (a source file with one of
+#: these names must be passed as ``./<name>``)
+SUBCOMMANDS = {
+    "batch": run_batch,
+    "serve": run_serve,
+    "remote-compile": run_remote_compile,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "batch":
-        return run_batch(list(argv[1:]))
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](list(argv[1:]))
     parser = build_argument_parser()
     arguments = parser.parse_args(argv)
 
@@ -204,10 +437,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
 
     if arguments.emit == "tree":
-        print(result.hierarchy.render_forest())
-        free = [c.display_name() for c in result.hierarchy.free_classes()]
-        print()
-        print("free clocks:", ", ".join(free) if free else "(none)")
+        print(result.tree_text())
     elif arguments.emit == "clocks":
         print(result.clock_system)
     elif arguments.emit == "kernel":

@@ -18,6 +18,29 @@ Value variables are shared structurally: a boolean signal defined by
 reuses the conjunction, ``event X`` is constantly true, and so on.  This
 mirrors the boolean reasoning the SIGNAL compiler performs on condition
 values and is what identifies ``when (not C)`` with ``[¬C]``.
+
+Scope-lifetime and fingerprint invariants
+-----------------------------------------
+
+When the manager is a :class:`~repro.bdd.ScopedBDDManager` (the compilation
+service), the encoder persists its memo on the scope's ``encoding_cache``
+so recompilations skip re-deriving value functions.  Three invariants keep
+that sharing sound:
+
+* **Keyed by kernel fingerprint.**  Entries are bucketed under the
+  program's normalized-kernel fingerprint, the same identity the compile
+  cache uses.  Even a scope (mis)used for two different programs can share
+  variable *names* but never serve one program's value encodings -- or the
+  opacity classification of a signal -- to the other.
+* **Memo state is all-or-nothing per signal.**  Restoring an entry restores
+  both the value BDD and whether the signal was *opaque* (received a fresh
+  variable) on the cold run, so a warm encoder's observable state is
+  indistinguishable from the cold encoder's final state.
+* **Lifetime bounded by the scope.**  The memo lives exactly as long as the
+  scope: when the service releases a scope (last cached result evicted,
+  failed compilation, or manager recycled past its node watermark) the memo
+  is cleared with it.  BDD handles inside the memo are only valid on the
+  scope's base manager, so a scope must never migrate between managers.
 """
 
 from __future__ import annotations

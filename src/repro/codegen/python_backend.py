@@ -236,7 +236,10 @@ class CompiledProcess:
     name: str
     style: GenerationStyle
     source: str
-    ir: StepIR
+    #: the step IR the source was generated from; ``None`` for executables
+    #: rehydrated from a stored artifact record, where only the generated
+    #: source survives serialization
+    ir: Optional[StepIR]
     step_instance: object
     inputs: List[str]
     outputs: List[str]
@@ -279,6 +282,39 @@ class CompiledProcess:
         """
         instance = _prepare_step_instance(type(self.step_instance)(), self.observable)
         return replace(self, step_instance=instance)
+
+    @classmethod
+    def from_generated_source(
+        cls,
+        source: str,
+        name: str,
+        style: GenerationStyle,
+        inputs: List[str],
+        outputs: List[str],
+        root_flags: List[Tuple[int, str, bool]],
+        types: Dict[str, SignalType],
+        observable: bool = True,
+    ) -> "CompiledProcess":
+        """Rebuild an executable from previously generated step source.
+
+        Used by the artifact store (:mod:`repro.service.store`) to rehydrate
+        a runnable process from a persisted record without re-running the
+        pipeline: the generated source is re-executed and wrapped exactly
+        like a fresh compilation, but no IR is available (``ir`` is None).
+        """
+        instance = _instantiate_step(source, name, observable)
+        return cls(
+            name=name,
+            style=style,
+            source=source,
+            ir=None,
+            step_instance=instance,
+            inputs=list(inputs),
+            outputs=list(outputs),
+            root_flags=[tuple(flag) for flag in root_flags],
+            types=dict(types),
+            observable=observable,
+        )
 
 
 def _prepare_step_instance(instance: object, observable: bool) -> object:

@@ -79,6 +79,17 @@ class CompilationResult:
     def step_ir(self, style: GenerationStyle = GenerationStyle.HIERARCHICAL) -> StepIR:
         return build_step_ir(self.schedule, self.types, style)
 
+    def tree_text(self) -> str:
+        """The forest of clock trees plus the free clocks, as printed text.
+
+        This is the default artifact of the CLI (``--emit tree``) and of the
+        daemon protocol; keeping the rendering here guarantees local and
+        remote compilations print identical trees.
+        """
+        free = [c.display_name() for c in self.hierarchy.free_classes()]
+        forest = self.hierarchy.render_forest()
+        return f"{forest}\n\nfree clocks: {', '.join(free) if free else '(none)'}"
+
     def statistics(self) -> Dict[str, int]:
         stats = dict(self.hierarchy.statistics())
         stats["signals"] = len(self.program.signals)

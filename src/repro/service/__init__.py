@@ -1,14 +1,40 @@
-"""Compilation-as-a-service layer: BDD pooling, compile caching, batching.
+"""Compilation-as-a-service layer: pooling, caching, daemon, persistence.
 
 * :mod:`repro.service.cache` -- a thread-safe LRU plus the fingerprint
   helpers used to key compilation results;
 * :mod:`repro.service.service` -- :class:`CompilationService`, the
   long-lived front end that pools a shared BDD manager across compilations
-  (with per-program variable namespaces), memoizes whole compilation
-  results, and fans batches of sources out to worker threads.
+  (with per-program variable namespaces and node-watermark recycling),
+  memoizes whole compilation results, and fans batches of sources out to
+  worker threads;
+* :mod:`repro.service.store` -- :class:`CompileStore`, disk persistence of
+  rendered artifact records keyed by kernel fingerprint, so a restarted
+  daemon begins warm;
+* :mod:`repro.service.daemon` -- :class:`CompilationDaemon`, the asyncio
+  JSON-line server (``python -m repro serve``) that lets many OS processes
+  share one service, plus :class:`ThreadedDaemon` for in-process embedding;
+* :mod:`repro.service.client` -- :class:`RemoteCompiler`, the blocking
+  client library behind ``python -m repro remote-compile``.
 """
 
 from .cache import CacheStats, LRUCache, source_digest
+from .client import RemoteCompiler, RemoteError, RemoteResult
+from .daemon import PROTOCOL_VERSION, CompilationDaemon, ThreadedDaemon
 from .service import CompilationService
+from .store import CompileStore, record_from_result, store_key
 
-__all__ = ["CacheStats", "LRUCache", "source_digest", "CompilationService"]
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "source_digest",
+    "CompilationService",
+    "CompilationDaemon",
+    "ThreadedDaemon",
+    "PROTOCOL_VERSION",
+    "CompileStore",
+    "record_from_result",
+    "store_key",
+    "RemoteCompiler",
+    "RemoteError",
+    "RemoteResult",
+]

@@ -5,6 +5,37 @@ code-generation options), so two surface sources that desugar to the same
 kernel share one entry.  A second, source-text level memo maps the SHA-256
 of the raw source to the kernel key: exact textual repeats then skip the
 parse/normalize work entirely on the hot path.
+
+What the fingerprint normalizes away
+------------------------------------
+
+The fingerprint is the SHA-256 of the kernel program's *canonical form*
+(:meth:`repro.lang.kernel.KernelProgram.canonical_form`), computed after
+desugaring.  Two sources therefore share one cache entry when they differ
+only in
+
+* whitespace, layout and comments (erased by the lexer),
+* surface syntax that desugars to the same kernel equations (e.g. operator
+  sugar versus its explicit kernel expansion), and
+* anything else the deterministic normalizer maps to identical kernel text,
+  including the numbering of compiler-introduced intermediate signals,
+  which depends only on emission order.
+
+It does **not** normalize away process names, signal names, declared types,
+or equation order: those are part of the canonical form, so renamed or
+reordered programs compile separately even when semantically equivalent.
+The same fingerprint also keys the per-scope value-encoding memo
+(:mod:`repro.clocks.encoding`) and the on-disk artifact store
+(:mod:`repro.service.store`): every layer of caching shares one identity
+for "the same program".
+
+Entry lifetime
+--------------
+
+Evicting the last entry of a fingerprint triggers the service's
+``on_evict`` callback, which releases the program's BDD scopes (see the
+scope-lifetime notes in :mod:`repro.service.service`).  The callback runs
+outside the cache lock, so it may safely take the service lock.
 """
 
 from __future__ import annotations

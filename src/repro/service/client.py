@@ -1,0 +1,197 @@
+"""Client library for the compilation daemon.
+
+:class:`RemoteCompiler` is a small blocking client for the JSON-line
+protocol served by :mod:`repro.service.daemon`::
+
+    from repro.service import RemoteCompiler
+
+    with RemoteCompiler(port=7420) as compiler:
+        result = compiler.compile(source, emit=["python", "stats"])
+        print(result.artifacts["python"])
+        print(compiler.stats()["daemon"]["memory_hits"])
+
+Remote compilations return :class:`RemoteResult` -- rendered artifacts and
+statistics, not live analysis objects (BDDs never cross the wire).  Protocol
+failures raise :class:`RemoteError`, which carries the structured error code
+the daemon reported (``parse-error``, ``clock-error``, ...), so callers can
+distinguish a bad program from a dead socket.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Union
+
+from ..codegen.ir import GenerationStyle
+
+__all__ = ["RemoteCompiler", "RemoteResult", "RemoteError"]
+
+
+class RemoteError(Exception):
+    """A failure reported by (or while talking to) the compilation daemon."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        #: the protocol error code (``parse-error``, ``invalid-request``,
+        #: ``connection-closed``, ...)
+        self.code = code
+        #: the human-readable message from the daemon
+        self.remote_message = message
+
+
+@dataclass
+class RemoteResult:
+    """The daemon's answer to one ``compile`` request."""
+
+    name: str
+    fingerprint: str
+    #: which cache tier answered: ``"memory"``, ``"store"`` or ``"compiled"``
+    origin: str
+    statistics: Dict[str, int]
+    #: requested artifact texts, keyed by emit kind (``python``, ``tree``, ...)
+    artifacts: Dict[str, object] = field(default_factory=dict)
+    #: ``{"reactions", "seed", "diagram"}`` when simulation was requested
+    simulation: Optional[Dict[str, object]] = None
+
+    @property
+    def cached(self) -> bool:
+        return self.origin != "compiled"
+
+
+class RemoteCompiler:
+    """A connection to a running compilation daemon.
+
+    Connects over TCP (``host``/``port``) or a unix domain socket
+    (``socket_path``).  The connection is persistent: repeated compiles
+    reuse it, which is what makes the daemon's source-digest fast path
+    worthwhile.  Instances are not thread-safe; use one per thread (the
+    daemon interleaves clients fairly).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        socket_path: Optional[str] = None,
+        timeout: float = 60.0,
+    ):
+        if (port is None) == (socket_path is None):
+            raise ValueError("exactly one of port= or socket_path= is required")
+        if socket_path is not None:
+            self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                self._socket.settimeout(timeout)
+                self._socket.connect(socket_path)
+            except BaseException:
+                self._socket.close()  # no fd leak when the daemon is not up yet
+                raise
+        else:
+            self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._socket.makefile("rwb")
+        self._dead = False
+
+    # -- plumbing ------------------------------------------------------------
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one raw request and return the daemon's response object.
+
+        After an I/O failure (timeout, reset) the connection is marked
+        unusable: a late response may still be in flight and there is no
+        request-id correlation, so reusing the stream could pair the next
+        request with the previous answer.  Open a new client instead.
+        """
+        if self._dead:
+            raise RemoteError(
+                "connection-unusable",
+                "a previous request failed mid-flight; open a new RemoteCompiler",
+            )
+        try:
+            self._stream.write(json.dumps(payload).encode("utf-8") + b"\n")
+            self._stream.flush()
+            line = self._stream.readline()
+        except socket.timeout as error:
+            self._dead = True
+            raise RemoteError("timeout", f"daemon did not answer in time: {error}") from None
+        except OSError as error:
+            self._dead = True
+            raise RemoteError("io-error", f"connection to the daemon failed: {error}") from None
+        if not line:
+            self._dead = True
+            raise RemoteError("connection-closed", "daemon closed the connection")
+        try:
+            response = json.loads(line)
+        except ValueError as error:
+            raise RemoteError("invalid-response", f"unparseable response: {error}") from None
+        if not isinstance(response, dict):
+            raise RemoteError("invalid-response", "response is not a JSON object")
+        if not response.get("ok"):
+            error_info = response.get("error") or {}
+            raise RemoteError(
+                str(error_info.get("code", "unknown")),
+                str(error_info.get("message", "no message")),
+            )
+        return response
+
+    # -- operations ----------------------------------------------------------
+    def compile(
+        self,
+        source: str,
+        style: Union[GenerationStyle, str] = GenerationStyle.HIERARCHICAL,
+        build_flat: bool = False,
+        observable: bool = True,
+        emit: Iterable[str] = (),
+        simulate: int = 0,
+        seed: int = 0,
+    ) -> RemoteResult:
+        """Compile SIGNAL source on the daemon and fetch rendered artifacts."""
+        style_value = style.value if isinstance(style, GenerationStyle) else str(style)
+        response = self.request(
+            {
+                "op": "compile",
+                "source": source,
+                "style": style_value,
+                "build_flat": build_flat,
+                "observable": observable,
+                "emit": list(emit),
+                "simulate": simulate,
+                "seed": seed,
+            }
+        )
+        return RemoteResult(
+            name=response["name"],
+            fingerprint=response["fingerprint"],
+            origin=response["origin"],
+            statistics=response["statistics"],
+            artifacts=response.get("artifacts", {}),
+            simulation=response.get("simulation"),
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """The daemon's three-tier cache statistics (``stats`` request)."""
+        response = self.request({"op": "stats"})
+        return {key: response[key] for key in ("daemon", "service", "store")}
+
+    def ping(self) -> int:
+        """Round-trip check; returns the daemon's protocol version."""
+        return self.request({"op": "ping"})["protocol"]
+
+    def clear_cache(self, store: bool = False) -> None:
+        """Drop the daemon's in-memory caches (and the disk store if asked)."""
+        self.request({"op": "clear-cache", "store": store})
+
+    def shutdown(self) -> None:
+        """Ask the daemon to exit after acknowledging this request."""
+        self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "RemoteCompiler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,588 @@
+"""The compilation daemon: one long-lived service behind a wire protocol.
+
+``python -m repro serve`` starts an asyncio server speaking a JSON-line
+protocol (one JSON request per line, one JSON response per line) over TCP
+or a unix domain socket.  Many OS processes then share a single
+:class:`~repro.service.CompilationService` -- its pooled BDD manager and
+its in-memory compile cache -- instead of each paying a cold pool and a
+cold cache.
+
+Caching tiers
+-------------
+
+A ``compile`` request is answered from the first of three tiers:
+
+1. **memory** -- an LRU of rendered *artifact records* keyed exactly like
+   the service's compile cache (kernel fingerprint + options), with a
+   source-digest fast path that skips parsing on exact textual repeats;
+2. **store** -- the optional on-disk :class:`~repro.service.store.CompileStore`;
+   a hit is promoted into tier 1, so a *restarted* daemon re-warms its
+   memory cache from disk as traffic arrives;
+3. **compile** -- the wrapped :class:`CompilationService` runs the full
+   pipeline on the pooled manager; the rendered record is written back to
+   tiers 1 and 2.
+
+Protocol
+--------
+
+Requests are JSON objects with an ``op`` field; every response carries
+``ok``.  Failures are structured -- ``{"ok": false, "error": {"code": ...,
+"message": ...}}`` -- and never terminate the server (a malformed line is a
+client bug, not a daemon bug).  The full request/response schema and the
+error-code table are documented in ``docs/ARCHITECTURE.md``.
+
+The server processes requests on a single worker thread: compilations are
+serialized (the pooled manager is not thread-safe) while the event loop
+stays free to accept connections and read requests, so concurrent clients
+queue fairly instead of timing out on connect.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import errno
+import json
+import os
+import socket
+import stat
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..codegen.ir import GenerationStyle
+from ..errors import (
+    CausalityError,
+    ClockCalculusError,
+    CodeGenerationError,
+    LexerError,
+    ParseError,
+    ResourceLimitExceeded,
+    SignalError,
+    SimulationError,
+    TypeError_,
+)
+from ..lang.kernel import normalize
+from ..lang.parser import parse_process
+from ..runtime import ReactiveExecutor, random_oracle, timing_diagram
+from .cache import LRUCache, source_digest
+from .service import CompilationService
+from .store import (
+    CompileStore,
+    executable_from_record,
+    record_from_result,
+    store_key,
+    types_from_record,
+)
+
+__all__ = ["PROTOCOL_VERSION", "CompilationDaemon", "ThreadedDaemon"]
+
+#: bumped when the request/response schema changes incompatibly
+PROTOCOL_VERSION = 1
+
+#: maximum length of one request line (sources are inlined in requests)
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: artifact kinds a compile request may ask for via ``emit``
+EMIT_KINDS = ("tree", "clocks", "kernel", "python", "c", "stats")
+
+#: exception type -> protocol error code, most specific first
+_ERROR_CODES = (
+    (LexerError, "parse-error"),
+    (ParseError, "parse-error"),
+    (TypeError_, "type-error"),
+    (CausalityError, "causality-error"),
+    (ClockCalculusError, "clock-error"),
+    (CodeGenerationError, "codegen-error"),
+    (SimulationError, "simulation-error"),
+    (ResourceLimitExceeded, "resource-limit"),
+    (SignalError, "signal-error"),
+)
+
+
+def error_code(error: BaseException) -> str:
+    """Map a toolchain exception to its protocol error code."""
+    for exception_type, code in _ERROR_CODES:
+        if isinstance(error, exception_type):
+            return code
+    return "internal-error"
+
+
+def _error_response(code: str, message: str, op: Optional[str] = None) -> Dict[str, object]:
+    response: Dict[str, object] = {"ok": False, "error": {"code": code, "message": message}}
+    if op is not None:
+        response["op"] = op
+    return response
+
+
+class _RequestError(Exception):
+    """An invalid request field (reported as code ``invalid-request``)."""
+
+
+def _field(request: Dict[str, object], name: str, expected_type: type, default):
+    value = request.get(name, default)
+    if expected_type is int:
+        # bool is a subclass of int; a JSON true is not an acceptable count.
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise _RequestError(f"field {name!r} must be an integer")
+    elif not isinstance(value, expected_type):
+        raise _RequestError(f"field {name!r} must be of type {expected_type.__name__}")
+    return value
+
+
+class CompilationDaemon:
+    """Engine and server of the compilation daemon.
+
+    The engine half (:meth:`compile_record`, :meth:`handle_request`) is
+    synchronous and usable without any socket -- tests and benchmarks drive
+    it directly; the server half (:meth:`serve`, :meth:`run`) exposes it
+    over asyncio TCP / unix-socket streams.
+    """
+
+    def __init__(
+        self,
+        service: Optional[CompilationService] = None,
+        store: Optional[Union[CompileStore, str, os.PathLike]] = None,
+        max_entries: int = 128,
+        max_pool_nodes: Optional[int] = None,
+    ):
+        self.service = service if service is not None else CompilationService(
+            max_entries=max_entries, max_pool_nodes=max_pool_nodes
+        )
+        if store is not None and not isinstance(store, CompileStore):
+            store = CompileStore(store)
+        self.store: Optional[CompileStore] = store
+        self._records: LRUCache[Dict[str, object]] = LRUCache(max_entries)
+        self._digests: LRUCache[str] = LRUCache(max(max_entries * 4, 16))
+        self._lock = threading.RLock()
+        self._requests = 0
+        self._compile_requests = 0
+        self._memory_hits = 0
+        self._store_hits = 0
+        self._compiles = 0
+        self._errors = 0
+        self._store_put_failures = 0
+        # Server state (populated by serve()).
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self.address: Optional[Union[str, Tuple[str, int]]] = None
+
+    # -- engine --------------------------------------------------------------
+    def compile_record(
+        self,
+        source: str,
+        style: GenerationStyle = GenerationStyle.HIERARCHICAL,
+        build_flat: bool = False,
+        observable: bool = True,
+    ) -> Tuple[Dict[str, object], str]:
+        """Compile (or fetch) the artifact record for one source.
+
+        Returns ``(record, origin)`` where origin is ``"memory"``,
+        ``"store"`` or ``"compiled"``.
+        """
+        with self._lock:
+            self._compile_requests += 1
+            digest = source_digest(source)
+            # The digest memo lets repeat traffic reach the record tiers
+            # without parsing; it must live here (not only in the service)
+            # because a memory/store hit never enters the service at all.
+            fingerprint = self._digests.get(digest)
+            process = None
+            program = None
+            if fingerprint is None:
+                process = parse_process(source)
+                program = normalize(process)
+                fingerprint = program.fingerprint()
+                self._digests.put(digest, fingerprint)
+            key = store_key(fingerprint, style, build_flat, observable)
+
+            record = self._records.get(key)
+            if record is not None:
+                self._memory_hits += 1
+                return record, "memory"
+
+            if self.store is not None:
+                record = self.store.get(key)
+                if record is not None:
+                    self._store_hits += 1
+                    self._records.put(key, record)
+                    return record, "store"
+
+            if process is None:
+                process = parse_process(source)
+                program = normalize(process)
+            result = self.service.compile_process(
+                process,
+                style=style,
+                build_flat=build_flat,
+                observable=observable,
+                program=program,  # already normalized above; don't redo it
+            )
+            record = record_from_result(
+                result, style, build_flat=build_flat, observable=observable
+            )
+            self._records.put(key, record)
+            if self.store is not None:
+                # Best-effort spill: the compile succeeded and the record is
+                # served from memory either way; a full disk must not turn a
+                # good compilation into an error response.
+                try:
+                    self.store.put(key, record)
+                except OSError:
+                    self._store_put_failures += 1
+            self._compiles += 1
+            return record, "compiled"
+
+    def statistics(self) -> Dict[str, object]:
+        """The three-tier cache counters plus the wrapped layers' stats."""
+        with self._lock:
+            daemon = {
+                "protocol": PROTOCOL_VERSION,
+                "requests": self._requests,
+                "compile_requests": self._compile_requests,
+                "memory_hits": self._memory_hits,
+                "store_hits": self._store_hits,
+                "compiles": self._compiles,
+                "errors": self._errors,
+                "store_put_failures": self._store_put_failures,
+                "record_entries": len(self._records),
+            }
+        return {
+            "daemon": daemon,
+            "service": self.service.statistics(),
+            "store": self.store.statistics() if self.store is not None else None,
+        }
+
+    def clear_caches(self, include_store: bool = False) -> None:
+        with self._lock:
+            self._records.clear()
+            self._digests.clear()
+            self.service.clear_cache()
+            if include_store and self.store is not None:
+                self.store.clear()
+
+    # -- request dispatch ----------------------------------------------------
+    def handle_line(self, line: Union[str, bytes]) -> Dict[str, object]:
+        """Parse one protocol line and dispatch it; never raises."""
+        with self._lock:
+            self._requests += 1
+        try:
+            request = json.loads(line)
+        except (ValueError, UnicodeDecodeError) as error:
+            return self._count_error(
+                _error_response("invalid-json", f"request is not valid JSON: {error}")
+            )
+        if not isinstance(request, dict):
+            return self._count_error(
+                _error_response("invalid-request", "request must be a JSON object")
+            )
+        return self.handle_request(request)
+
+    def handle_request(self, request: Dict[str, object]) -> Dict[str, object]:
+        op = request.get("op")
+        try:
+            if op == "compile":
+                return self._handle_compile(request)
+            if op == "stats":
+                return {"ok": True, "op": "stats", **self.statistics()}
+            if op == "ping":
+                return {"ok": True, "op": "ping", "protocol": PROTOCOL_VERSION}
+            if op == "clear-cache":
+                include_store = _field(request, "store", bool, False)
+                self.clear_caches(include_store=include_store)
+                return {"ok": True, "op": "clear-cache", "store": include_store}
+            if op == "shutdown":
+                return {"ok": True, "op": "shutdown"}
+            return self._count_error(
+                _error_response(
+                    "invalid-request",
+                    f"unknown op {op!r} (expected compile/stats/ping/clear-cache/shutdown)",
+                )
+            )
+        except _RequestError as error:
+            return self._count_error(_error_response("invalid-request", str(error), op))
+        except SignalError as error:
+            return self._count_error(_error_response(error_code(error), str(error), op))
+        except Exception as error:  # noqa: BLE001 - the daemon must survive anything
+            return self._count_error(
+                _error_response("internal-error", f"{type(error).__name__}: {error}", op)
+            )
+
+    def _count_error(self, response: Dict[str, object]) -> Dict[str, object]:
+        with self._lock:
+            self._errors += 1
+        return response
+
+    def _handle_compile(self, request: Dict[str, object]) -> Dict[str, object]:
+        source = request.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise _RequestError("field 'source' must be a non-empty string")
+        style_name = _field(request, "style", str, GenerationStyle.HIERARCHICAL.value)
+        try:
+            style = GenerationStyle(style_name)
+        except ValueError:
+            raise _RequestError(
+                f"field 'style' must be one of {[s.value for s in GenerationStyle]}"
+            ) from None
+        build_flat = _field(request, "build_flat", bool, False)
+        observable = _field(request, "observable", bool, True)
+        simulate = _field(request, "simulate", int, 0)
+        seed = _field(request, "seed", int, 0)
+        emit = request.get("emit", [])
+        if not isinstance(emit, list) or not all(isinstance(kind, str) for kind in emit):
+            raise _RequestError("field 'emit' must be a list of artifact names")
+        unknown = [kind for kind in emit if kind not in EMIT_KINDS]
+        if unknown:
+            raise _RequestError(f"unknown emit kind(s) {unknown}; expected {list(EMIT_KINDS)}")
+
+        record, origin = self.compile_record(
+            source, style=style, build_flat=build_flat, observable=observable
+        )
+        response: Dict[str, object] = {
+            "ok": True,
+            "op": "compile",
+            "name": record["name"],
+            "fingerprint": record["fingerprint"],
+            "origin": origin,
+            "statistics": record["statistics"],
+        }
+        if emit:
+            artifacts = dict(record["artifacts"])
+            artifacts["stats"] = record["statistics"]
+            response["artifacts"] = {kind: artifacts[kind] for kind in emit}
+        if simulate > 0:
+            executable = executable_from_record(record)
+            oracle = random_oracle(types_from_record(record), seed=seed)
+            trace = ReactiveExecutor(executable).run(simulate, oracle)
+            response["simulation"] = {
+                "reactions": simulate,
+                "seed": seed,
+                "diagram": timing_diagram(trace.observations()),
+            }
+        return response
+
+    # -- asyncio server ------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    response = _error_response(
+                        "invalid-request", f"request line exceeds {MAX_LINE_BYTES} bytes"
+                    )
+                    writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await loop.run_in_executor(self._pool, self.handle_line, line)
+                writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                await writer.drain()
+                if response.get("ok") and response.get("op") == "shutdown":
+                    self.request_shutdown()
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client died
+            pass
+        except asyncio.CancelledError:
+            # Server shutting down mid-read: end the task cleanly so the
+            # teardown is quiet; the client sees the connection close.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: Optional[str] = None,
+        on_ready: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Serve until :meth:`request_shutdown` (or task cancellation).
+
+        Binds a unix domain socket when ``socket_path`` is given, a TCP
+        socket on ``host``/``port`` otherwise (``port=0`` picks a free
+        port).  The bound address is published on ``self.address`` -- and
+        ``on_ready`` (if any) is called -- before the first connection is
+        accepted.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._connections = set()
+        # One worker: compilations are serialized, the event loop is not.
+        self._pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-daemon")
+        bound_socket_path = None  # only unlink a socket *this* process bound
+        try:
+            if socket_path is not None:
+                # asyncio's start_unix_server silently unlinks an existing
+                # socket file -- even one with a live listener -- so probe
+                # first: a second daemon must fail loudly, not hijack the
+                # path out from under the first.
+                self._ensure_socket_path_free(socket_path)
+                server = await asyncio.start_unix_server(
+                    self._handle_connection, path=socket_path, limit=MAX_LINE_BYTES
+                )
+                bound_socket_path = socket_path
+                self.address = socket_path
+            else:
+                server = await asyncio.start_server(
+                    self._handle_connection, host, port, limit=MAX_LINE_BYTES
+                )
+                bound = server.sockets[0].getsockname()
+                self.address = (bound[0], bound[1])
+            self._ready.set()
+            if on_ready is not None:
+                on_ready()
+            async with server:
+                await self._shutdown.wait()
+            # Drain open connections before tearing the loop down, so their
+            # tasks end cleanly instead of being killed by asyncio.run().
+            for connection in list(self._connections):
+                connection.cancel()
+            if self._connections:
+                await asyncio.gather(*self._connections, return_exceptions=True)
+        finally:
+            self._pool.shutdown(wait=False)
+            if bound_socket_path is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(bound_socket_path)
+
+    @staticmethod
+    def _ensure_socket_path_free(socket_path: str) -> None:
+        """Refuse to bind over a live daemon's unix socket.
+
+        A leftover socket from a crashed daemon (nothing listening) is fine
+        -- asyncio removes it and rebinds; a path with a live listener
+        raises ``EADDRINUSE``; a non-socket file raises ``EEXIST`` rather
+        than being deleted.
+        """
+        try:
+            mode = os.stat(socket_path).st_mode
+        except (FileNotFoundError, OSError):
+            return
+        if not stat.S_ISSOCK(mode):
+            raise OSError(
+                errno.EEXIST, f"{socket_path!r} exists and is not a socket"
+            )
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            probe.settimeout(1.0)
+            probe.connect(socket_path)
+        except OSError:
+            return  # stale socket: nobody answered, safe to rebind
+        finally:
+            probe.close()
+        raise OSError(
+            errno.EADDRINUSE,
+            f"another daemon is already listening on {socket_path!r}",
+        )
+
+    def request_shutdown(self) -> None:
+        """Ask a running server to stop (safe from any thread; idempotent)."""
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None:
+            with contextlib.suppress(RuntimeError):  # loop already closed
+                loop.call_soon_threadsafe(shutdown.set)
+
+    def run(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: Optional[str] = None,
+        on_ready: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Blocking entry point used by ``python -m repro serve``."""
+        try:
+            asyncio.run(
+                self.serve(
+                    host=host, port=port, socket_path=socket_path, on_ready=on_ready
+                )
+            )
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+
+class ThreadedDaemon:
+    """Run a :class:`CompilationDaemon` on a background thread.
+
+    Context-manager convenience for tests, benchmarks and applications that
+    want an in-process daemon::
+
+        with ThreadedDaemon(store="cache-dir") as daemon:
+            client = RemoteCompiler(*daemon.address)
+
+    ``daemon.address`` is the bound ``(host, port)`` tuple (or the socket
+    path).  Exiting the context shuts the server down and joins the thread.
+    """
+
+    def __init__(
+        self,
+        daemon: Optional[CompilationDaemon] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: Optional[str] = None,
+        **daemon_options,
+    ):
+        self.daemon = daemon if daemon is not None else CompilationDaemon(**daemon_options)
+        self._host = host
+        self._port = port
+        self._socket_path = socket_path
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self):
+        return self.daemon.address
+
+    def start(self, timeout: float = 10.0) -> "ThreadedDaemon":
+        if self._thread is not None:
+            raise RuntimeError("daemon thread already started")
+        self.daemon._ready.clear()
+        self._error: Optional[BaseException] = None
+
+        def target() -> None:
+            try:
+                self.daemon.run(
+                    host=self._host, port=self._port, socket_path=self._socket_path
+                )
+            except BaseException as error:  # surfaced to start()'s caller
+                self._error = error
+
+        self._thread = threading.Thread(
+            target=target, name="repro-daemon-server", daemon=True
+        )
+        self._thread.start()
+        deadline = timeout
+        while deadline > 0:
+            if self.daemon._ready.wait(min(0.05, deadline)):
+                return self
+            deadline -= 0.05
+            if not self._thread.is_alive():
+                break
+        self._thread = None
+        if self._error is not None:
+            raise RuntimeError(f"daemon failed to start: {self._error}") from self._error
+        raise RuntimeError("daemon did not come up within the timeout")
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        self.daemon.request_shutdown()
+        self._thread.join(timeout)
+        self._thread = None
+
+    def __enter__(self) -> "ThreadedDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -23,6 +23,43 @@ executable instances (rebuilt from the cached generated source), so a hit
 behaves exactly like a fresh compilation and callers' simulation states are
 fully isolated; the analysis artifacts (hierarchy, schedule, sources) are
 shared.
+
+Scope lifetime
+--------------
+
+A *scope* (:class:`~repro.bdd.ScopedBDDManager`) is the bridge between one
+program and one manager: it namespaces the program's BDD variables and
+carries the program's value-encoding memo.  The service registers scopes
+lazily in ``_scope_for`` under the key ``(id(manager), fingerprint)`` and
+guarantees the invariant that **a scope outlives every cached result that
+was compiled through it, and nothing else**:
+
+* a scope is created on the first (miss) compilation of its program on a
+  given manager and reused by every later recompilation there;
+* a scope is released when the last LRU entry for its fingerprint (any
+  style/option combination) is evicted, when the compilation that would
+  have populated the entry raises (including ``BaseException`` such as a
+  cancelled batch worker -- nothing would ever evict the entry otherwise),
+  or when its manager is recycled (see below);
+* releasing a scope drops it from the registry and clears its
+  value-encoding memo.  The variables and nodes the program interned in the
+  manager's unique table are *not* reclaimed -- that is what manager
+  recycling is for.
+
+Pool hygiene
+------------
+
+The pooled manager's unique table and variable registry are append-only, so
+under varied long-lived traffic (the daemon) they grow without bound.  The
+service accepts a ``max_pool_nodes`` watermark: after a compilation finishes
+on the pooled manager, if the manager's node count exceeds the watermark the
+manager is *recycled* -- replaced by a fresh empty one, with every scope
+registered on the old manager released.  Cached results that reference the
+old manager stay valid (their BDD handles keep the old manager object
+alive), but BDDs of results compiled before and after a recycle must not be
+combined, exactly like results from different batch workers.  Worker
+managers are checked against the same watermark when a batch job returns
+them to the idle pool and are retired instead of requeued when over budget.
 """
 
 from __future__ import annotations
@@ -57,14 +94,25 @@ class CompilationService:
     manager:
         Optionally, an existing shared manager to pool on (a fresh one is
         created by default).
+    max_pool_nodes:
+        Node-count watermark for pool hygiene: when a compilation leaves
+        the pooled manager (or returns a batch worker manager) with more
+        than this many nodes, the manager is recycled and its scopes are
+        released.  ``None`` (the default) disables recycling.
 
     ``compile``/``compile_process`` are meant to be called from one thread
     (the pooled manager is not thread-safe); ``compile_batch`` is the
     concurrent entry point and isolates workers on their own managers.
     """
 
-    def __init__(self, max_entries: int = 128, manager: Optional[BDDManager] = None):
+    def __init__(
+        self,
+        max_entries: int = 128,
+        manager: Optional[BDDManager] = None,
+        max_pool_nodes: Optional[int] = None,
+    ):
         self.manager = manager if manager is not None else BDDManager()
+        self.max_pool_nodes = max_pool_nodes
         self._results: LRUCache[CompilationResult] = LRUCache(
             max_entries, on_evict=self._on_result_evicted
         )
@@ -80,6 +128,8 @@ class CompilationService:
         self._idle_workers: "queue.SimpleQueue[BDDManager]" = queue.SimpleQueue()
         self._worker_managers: List[BDDManager] = []
         self._requests = 0
+        self._pool_recycles = 0
+        self._worker_recycles = 0
 
     # -- cache plumbing -----------------------------------------------------
     @staticmethod
@@ -153,6 +203,7 @@ class CompilationService:
         build_flat: bool,
         observable: bool,
         manager_supplier: "Callable[[], BDDManager]",
+        program: Optional[KernelProgram] = None,
     ) -> CompilationResult:
         with self._lock:
             self._requests += 1
@@ -175,7 +226,8 @@ class CompilationService:
         if process is None:
             assert source is not None
             process = parse_process(source)
-        program = normalize(process)
+        if program is None:
+            program = normalize(process)
         fingerprint = program.fingerprint()
         if digest is not None:
             self._source_fingerprints.put(digest, fingerprint)
@@ -195,9 +247,12 @@ class CompilationService:
                 process, program, fingerprint, style, build_flat, observable,
                 manager_supplier(),
             )
-        except Exception:
+        except BaseException:
             # A failed compilation stores no result, so nothing would ever
-            # evict the scope registered above -- release it now.
+            # evict the scope registered above -- release it now.  This must
+            # cover BaseException, not just Exception: a batch worker killed
+            # by e.g. KeyboardInterrupt or a future cancellation would
+            # otherwise leak its scope in a long-lived daemon.
             self._release_orphan_scopes(fingerprint)
             raise
         self._results.put(key, result)
@@ -236,9 +291,11 @@ class CompilationService:
         behaviour, but do not combine its clock BDDs with those of a
         pooled-manager result (check ``result.hierarchy.manager``).
         """
-        return self._compile_cached(
+        result = self._compile_cached(
             source, None, style, build_flat, observable, lambda: self.manager
         )
+        self._maybe_recycle_pooled()
+        return result
 
     def compile_process(
         self,
@@ -246,11 +303,20 @@ class CompilationService:
         style: GenerationStyle = GenerationStyle.HIERARCHICAL,
         build_flat: bool = False,
         observable: bool = True,
+        program: Optional[KernelProgram] = None,
     ) -> CompilationResult:
-        """Like :meth:`compile` for an already-parsed process."""
-        return self._compile_cached(
-            None, process, style, build_flat, observable, lambda: self.manager
+        """Like :meth:`compile` for an already-parsed process.
+
+        ``program`` optionally supplies the already-normalized kernel form
+        of ``process`` (callers like the daemon normalize first to compute
+        the cache key; passing it through avoids normalizing twice).
+        """
+        result = self._compile_cached(
+            None, process, style, build_flat, observable, lambda: self.manager,
+            program=program,
         )
+        self._maybe_recycle_pooled()
+        return result
 
     def compile_batch(
         self,
@@ -293,8 +359,12 @@ class CompilationService:
                     source, None, style, build_flat, observable, supplier
                 )
             finally:
+                # Returned even when the job raised: the manager itself is
+                # reusable (the failed program's scope was already released
+                # by _compile_cached), but an over-budget manager is retired
+                # here rather than requeued.
                 for manager in checked_out:
-                    self._idle_workers.put(manager)
+                    self._return_worker_manager(manager)
 
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             return list(pool.map(work, source_list))
@@ -307,6 +377,49 @@ class CompilationService:
             with self._lock:
                 self._worker_managers.append(manager)
             return manager
+
+    # -- pool hygiene --------------------------------------------------------
+    def _over_watermark(self, manager: BDDManager) -> bool:
+        return self.max_pool_nodes is not None and manager.num_nodes > self.max_pool_nodes
+
+    def _drop_manager_scopes_locked(self, manager_id: int) -> None:
+        """Release every scope registered on a recycled/retired manager.
+
+        Must be called with ``self._lock`` held.  Cached results keep the
+        old manager object (and hence their BDDs) alive; only the service's
+        bookkeeping for it is dropped, so nothing can resurrect a scope on a
+        dead manager or collide with a reused ``id()``.
+        """
+        stale = [key for key in self._scopes if key[0] == manager_id]
+        for scope_key in stale:
+            self._scopes.pop(scope_key).encoding_cache.clear()
+
+    def _maybe_recycle_pooled(self) -> None:
+        """Replace the pooled manager with a fresh one when over budget."""
+        if not self._over_watermark(self.manager):
+            return
+        with self._lock:
+            old = self.manager
+            if not self._over_watermark(old):  # re-check under the lock
+                return
+            self.manager = BDDManager(
+                max_nodes=old.max_nodes, use_computed_cache=old.use_computed_cache
+            )
+            self._drop_manager_scopes_locked(id(old))
+            self._pool_recycles += 1
+
+    def _return_worker_manager(self, manager: BDDManager) -> None:
+        """Requeue an idle worker manager, or retire it when over budget."""
+        if not self._over_watermark(manager):
+            self._idle_workers.put(manager)
+            return
+        with self._lock:
+            try:
+                self._worker_managers.remove(manager)
+            except ValueError:  # pragma: no cover - retired concurrently
+                pass
+            self._drop_manager_scopes_locked(id(manager))
+            self._worker_recycles += 1
 
     # -- maintenance and reporting ------------------------------------------
     def clear_cache(self) -> None:
@@ -328,6 +441,8 @@ class CompilationService:
             worker_nodes = sum(m.num_nodes for m in self._worker_managers)
             worker_count = len(self._worker_managers)
             requests = self._requests
+            pool_recycles = self._pool_recycles
+            worker_recycles = self._worker_recycles
         stats = {
             "requests": requests,
             "cache_entries": len(self._results),
@@ -336,8 +451,12 @@ class CompilationService:
             "source_fast_path_hits": self._source_fingerprints.stats.hits,
             "pooled_bdd_nodes": self.manager.num_nodes,
             "pooled_bdd_vars": self.manager.num_vars,
+            "pooled_ite_cache_entries": self.manager.statistics()["ite_cache_entries"],
             "worker_managers": worker_count,
             "worker_bdd_nodes": worker_nodes,
+            "max_pool_nodes": self.max_pool_nodes or 0,
+            "pool_recycles": pool_recycles,
+            "worker_recycles": worker_recycles,
         }
         stats.update(
             {f"cache_{name}": value for name, value in self._results.stats.as_dict().items()}

@@ -1,0 +1,315 @@
+"""The compilation daemon: protocol, caching tiers, restarts, resilience.
+
+Engine-level tests drive :class:`CompilationDaemon.handle_request` directly
+(no sockets); server-level tests run a real asyncio server on a background
+thread (:class:`ThreadedDaemon`) and talk to it through
+:class:`RemoteCompiler` or a raw socket.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import GenerationStyle, compile_source
+from repro.service import (
+    CompilationDaemon,
+    CompileStore,
+    RemoteCompiler,
+    RemoteError,
+    ThreadedDaemon,
+)
+from repro.programs import ALARM_SOURCE, COUNTER_SOURCE, WATCHDOG_SOURCE
+
+
+class TestEngine:
+    def test_compile_origins_progress_memory(self):
+        daemon = CompilationDaemon()
+        _, origin_one = daemon.compile_record(COUNTER_SOURCE)
+        _, origin_two = daemon.compile_record(COUNTER_SOURCE)
+        assert (origin_one, origin_two) == ("compiled", "memory")
+
+    def test_store_tier_fills_and_promotes(self, tmp_path):
+        store = CompileStore(tmp_path)
+        first = CompilationDaemon(store=store)
+        first.compile_record(COUNTER_SOURCE)
+        assert len(store) == 1
+
+        second = CompilationDaemon(store=store)
+        _, origin = second.compile_record(COUNTER_SOURCE)
+        assert origin == "store"
+        _, origin = second.compile_record(COUNTER_SOURCE)
+        assert origin == "memory"  # promoted on the store hit
+        assert second.statistics()["daemon"]["compiles"] == 0
+
+    def test_reformatted_source_hits_without_reparse(self):
+        daemon = CompilationDaemon()
+        daemon.compile_record(COUNTER_SOURCE)
+        reformatted = "\n".join(
+            line.rstrip() + "  " for line in COUNTER_SOURCE.splitlines()
+        )
+        _, origin = daemon.compile_record(reformatted)
+        assert origin == "memory"
+
+    def test_compile_response_artifacts_match_local_compiler(self):
+        daemon = CompilationDaemon()
+        response = daemon.handle_request(
+            {
+                "op": "compile",
+                "source": COUNTER_SOURCE,
+                "emit": ["tree", "clocks", "kernel", "python", "c", "stats"],
+            }
+        )
+        assert response["ok"]
+        local = compile_source(COUNTER_SOURCE)
+        artifacts = response["artifacts"]
+        assert artifacts["python"] == local.python_source()
+        assert artifacts["c"] == local.c_source()
+        assert artifacts["tree"] == local.tree_text()
+        assert artifacts["clocks"] == str(local.clock_system)
+        assert artifacts["kernel"] == str(local.program)
+        assert artifacts["stats"] == local.statistics()
+
+    def test_simulation_is_deterministic_per_seed(self):
+        daemon = CompilationDaemon()
+        request = {"op": "compile", "source": COUNTER_SOURCE, "simulate": 8, "seed": 3}
+        first = daemon.handle_request(request)
+        second = daemon.handle_request(request)
+        assert first["simulation"]["diagram"] == second["simulation"]["diagram"]
+        other_seed = daemon.handle_request(dict(request, seed=4))
+        assert other_seed["simulation"]["diagram"] != first["simulation"]["diagram"]
+
+    def test_flat_style_is_a_distinct_entry(self):
+        daemon = CompilationDaemon()
+        daemon.compile_record(COUNTER_SOURCE)
+        _, origin = daemon.compile_record(COUNTER_SOURCE, style=GenerationStyle.FLAT)
+        assert origin == "compiled"
+
+    def test_response_is_json_serializable(self):
+        daemon = CompilationDaemon()
+        response = daemon.handle_request(
+            {"op": "compile", "source": COUNTER_SOURCE, "emit": ["stats"], "simulate": 2}
+        )
+        json.dumps(response)  # must not raise
+
+
+class TestEngineErrors:
+    def test_parse_error_code(self):
+        response = CompilationDaemon().handle_request(
+            {"op": "compile", "source": "process X = nonsense"}
+        )
+        assert response == {
+            "ok": False,
+            "op": "compile",
+            "error": response["error"],
+        }
+        assert response["error"]["code"] == "parse-error"
+        assert response["error"]["message"]
+
+    def test_causality_error_code(self):
+        broken = (
+            "process BAD = ( ? integer A; ! integer X, Y; )"
+            " (| X := Y + A | Y := X + A |) end;"
+        )
+        response = CompilationDaemon().handle_request({"op": "compile", "source": broken})
+        assert not response["ok"]
+        assert response["error"]["code"] == "causality-error"
+
+    @pytest.mark.parametrize(
+        "request_object, code",
+        [
+            ({"op": "compile"}, "invalid-request"),  # no source
+            ({"op": "compile", "source": 17}, "invalid-request"),
+            ({"op": "compile", "source": "  "}, "invalid-request"),
+            ({"op": "compile", "source": "x", "style": "spiral"}, "invalid-request"),
+            ({"op": "compile", "source": "x", "emit": "python"}, "invalid-request"),
+            ({"op": "compile", "source": "x", "emit": ["bogus"]}, "invalid-request"),
+            ({"op": "compile", "source": "x", "simulate": True}, "invalid-request"),
+            ({"op": "warm-up"}, "invalid-request"),
+            ({}, "invalid-request"),
+        ],
+    )
+    def test_invalid_requests_are_structured(self, request_object, code):
+        response = CompilationDaemon().handle_request(request_object)
+        assert not response["ok"]
+        assert response["error"]["code"] == code
+
+    def test_invalid_json_line(self):
+        response = CompilationDaemon().handle_line(b"{not json\n")
+        assert not response["ok"]
+        assert response["error"]["code"] == "invalid-json"
+
+    def test_non_object_json_line(self):
+        response = CompilationDaemon().handle_line(b"[1, 2, 3]\n")
+        assert not response["ok"]
+        assert response["error"]["code"] == "invalid-request"
+
+    def test_errors_are_counted_but_do_not_poison_the_engine(self):
+        daemon = CompilationDaemon()
+        daemon.handle_line(b"garbage\n")
+        daemon.handle_request({"op": "compile", "source": "broken"})
+        response = daemon.handle_request({"op": "compile", "source": COUNTER_SOURCE})
+        assert response["ok"]
+        assert daemon.statistics()["daemon"]["errors"] == 2
+
+
+class TestServer:
+    def test_ping_stats_clear_roundtrip(self):
+        with ThreadedDaemon() as daemon:
+            with RemoteCompiler(*daemon.address) as client:
+                assert isinstance(client.ping(), int)
+                client.compile(COUNTER_SOURCE)
+                assert client.stats()["daemon"]["compiles"] == 1
+                client.clear_cache()
+                result = client.compile(COUNTER_SOURCE)
+                assert result.origin == "compiled"
+
+    def test_concurrent_clients_share_the_cache(self):
+        """N clients x M repeats of one source: exactly one real compile."""
+        clients, repeats = 4, 3
+        with ThreadedDaemon() as daemon:
+            errors = []
+
+            def hammer():
+                try:
+                    with RemoteCompiler(*daemon.address) as client:
+                        for _ in range(repeats):
+                            client.compile(COUNTER_SOURCE)
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+
+            threads = [threading.Thread(target=hammer) for _ in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+
+            with RemoteCompiler(*daemon.address) as client:
+                stats = client.stats()["daemon"]
+            assert stats["compile_requests"] == clients * repeats
+            assert stats["compiles"] == 1
+            assert stats["memory_hits"] == clients * repeats - 1
+            # Hit ratio: everything after the very first request was cached.
+            hit_ratio = stats["memory_hits"] / stats["compile_requests"]
+            assert hit_ratio == pytest.approx(1 - 1 / (clients * repeats))
+
+    def test_kill_restart_rewarms_from_disk_store(self, tmp_path):
+        """A restarted daemon answers its first repeat compile from the store."""
+        sources = [COUNTER_SOURCE, WATCHDOG_SOURCE, ALARM_SOURCE]
+        with ThreadedDaemon(store=str(tmp_path)) as daemon:
+            with RemoteCompiler(*daemon.address) as client:
+                for source in sources:
+                    assert client.compile(source).origin == "compiled"
+        # The daemon is dead; only the directory survives.
+        assert len(CompileStore(tmp_path)) == len(sources)
+
+        with ThreadedDaemon(store=str(tmp_path)) as reborn:
+            with RemoteCompiler(*reborn.address) as client:
+                for source in sources:
+                    assert client.compile(source).origin == "store"
+                stats = client.stats()
+                assert stats["daemon"]["compiles"] == 0
+                assert stats["daemon"]["store_hits"] == len(sources)
+                assert stats["store"]["hits"] == len(sources)
+                # ...and the rewarmed entries now live in memory.
+                for source in sources:
+                    assert client.compile(source).origin == "memory"
+
+    def test_restarted_daemon_results_match_fresh_compiles(self, tmp_path):
+        local = compile_source(ALARM_SOURCE)
+        with ThreadedDaemon(store=str(tmp_path)) as daemon:
+            with RemoteCompiler(*daemon.address) as client:
+                client.compile(ALARM_SOURCE)
+        with ThreadedDaemon(store=str(tmp_path)) as reborn:
+            with RemoteCompiler(*reborn.address) as client:
+                result = client.compile(ALARM_SOURCE, emit=["python", "stats"])
+                assert result.origin == "store"
+                assert result.artifacts["python"] == local.python_source()
+                assert result.artifacts["stats"] == local.statistics()
+
+    def test_malformed_requests_do_not_kill_the_server(self):
+        with ThreadedDaemon() as daemon:
+            host, port = daemon.address
+            raw = socket.create_connection((host, port), timeout=10)
+            stream = raw.makefile("rwb")
+            try:
+                for payload in (b"definitely not json\n", b"[]\n", b'{"op": "nope"}\n'):
+                    stream.write(payload)
+                    stream.flush()
+                    response = json.loads(stream.readline())
+                    assert response["ok"] is False
+                    assert "code" in response["error"]
+                # Same connection still serves good requests...
+                stream.write(json.dumps({"op": "ping"}).encode() + b"\n")
+                stream.flush()
+                assert json.loads(stream.readline())["ok"]
+            finally:
+                raw.close()
+            # ...and so do fresh connections.
+            with RemoteCompiler(host, port) as client:
+                assert client.compile(COUNTER_SOURCE).name == "COUNT"
+
+    def test_compile_error_reaches_client_as_remote_error(self):
+        with ThreadedDaemon() as daemon:
+            with RemoteCompiler(*daemon.address) as client:
+                with pytest.raises(RemoteError) as excinfo:
+                    client.compile("process X = gibberish")
+                assert excinfo.value.code == "parse-error"
+                # The connection survives the failed compile.
+                assert client.compile(COUNTER_SOURCE).name == "COUNT"
+
+    def test_unix_socket_transport(self, tmp_path):
+        path = str(tmp_path / "daemon.sock")
+        with ThreadedDaemon(socket_path=path) as daemon:
+            assert daemon.address == path
+            with RemoteCompiler(socket_path=path) as client:
+                assert client.compile(COUNTER_SOURCE).name == "COUNT"
+
+    def test_second_daemon_cannot_hijack_a_live_socket(self, tmp_path):
+        """Double-binding a unix socket fails loudly and harms nobody.
+
+        (asyncio's start_unix_server would happily unlink a live daemon's
+        socket; the daemon probes for a listener first.)
+        """
+        path = str(tmp_path / "daemon.sock")
+        with ThreadedDaemon(socket_path=path) as daemon:
+            with pytest.raises(RuntimeError, match="already listening"):
+                ThreadedDaemon(socket_path=path).start(timeout=5)
+            # The first daemon's socket file and service are untouched.
+            with RemoteCompiler(socket_path=path) as client:
+                assert client.compile(COUNTER_SOURCE).name == "COUNT"
+
+    def test_stale_socket_is_rebound(self, tmp_path):
+        """A socket file left by a crashed daemon does not block restarts."""
+        path = str(tmp_path / "daemon.sock")
+        socket.socket(socket.AF_UNIX, socket.SOCK_STREAM).bind(path)  # stale
+        with ThreadedDaemon(socket_path=path) as daemon:
+            with RemoteCompiler(socket_path=path) as client:
+                assert client.ping() >= 1
+
+    def test_shutdown_request_stops_the_server(self):
+        daemon = ThreadedDaemon().start()
+        try:
+            host, port = daemon.address
+            with RemoteCompiler(host, port) as client:
+                client.shutdown()
+            daemon._thread.join(10)
+            assert daemon._thread is None or not daemon._thread.is_alive()
+            with pytest.raises(OSError):
+                socket.create_connection((host, port), timeout=2)
+        finally:
+            daemon.stop()
+
+    def test_remote_simulation_matches_local(self):
+        local = compile_source(COUNTER_SOURCE)
+        from repro.runtime import ReactiveExecutor, random_oracle, timing_diagram
+
+        trace = ReactiveExecutor(local.executable).run(
+            6, random_oracle(local.types, seed=2)
+        )
+        with ThreadedDaemon() as daemon:
+            with RemoteCompiler(*daemon.address) as client:
+                result = client.compile(COUNTER_SOURCE, simulate=6, seed=2)
+        assert result.simulation["diagram"] == timing_diagram(trace.observations())

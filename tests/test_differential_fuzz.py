@@ -25,8 +25,13 @@ REACTIONS = 32
 
 #: One shared service for the whole module: all fuzz programs compile onto a
 #: single pooled BDD manager, which is exactly the collision surface the
-#: variable namespacing must protect.
-_SHARED_SERVICE = CompilationService(max_entries=NUM_PROGRAMS * 2)
+#: variable namespacing must protect.  The node watermark is set well below
+#: the suite's total footprint (~500 nodes/program, ~26k for the suite), so
+#: the pooled manager is recycled several times mid-suite and the fuzzing
+#: also proves that pool hygiene never changes compiled behaviour.
+_SHARED_SERVICE = CompilationService(
+    max_entries=NUM_PROGRAMS * 2, max_pool_nodes=4000
+)
 
 
 def spec_for_seed(seed):
@@ -113,6 +118,23 @@ def test_fuzz_program_count():
 def test_fuzz_specs_are_deterministic():
     assert spec_for_seed(3) == spec_for_seed(3)
     assert [spec_for_seed(s) for s in range(5)] != [spec_for_seed(s + 1) for s in range(5)]
+
+
+def test_watermark_recycling_really_triggered():
+    """The shared pool must cross the node watermark while fuzzing.
+
+    Self-sufficient: compiling the first 16 fuzz programs (~7k pooled nodes
+    against the 4000-node watermark) forces at least one recycle even when
+    this test runs alone; after the full suite these compilations are cache
+    hits and the recycles have already happened.  If this fails after a
+    compiler change, the fuzz suite silently stopped covering the recycling
+    path -- lower the watermark above.
+    """
+    for seed in range(16):
+        _SHARED_SERVICE.compile(
+            generate_control_program(spec_for_seed(seed)), build_flat=True
+        )
+    assert _SHARED_SERVICE.statistics()["pool_recycles"] >= 1
 
 
 def test_shared_service_kept_programs_isolated():

@@ -306,3 +306,127 @@ class TestCompilerWiring:
         )
         assert result.executable.style is GenerationStyle.FLAT
         assert result.executable_flat is not None
+
+
+class TestBatchFailurePath:
+    """Jobs that raise must release their scopes, mirroring single compiles."""
+
+    BROKEN = [
+        (
+            f"process BAD{index} = ( ? integer A; ! integer X, Y; )"
+            " (| X := Y + A | Y := X + A |) end;"
+        )
+        for index in range(6)
+    ]
+
+    def test_failing_batch_jobs_release_worker_scopes(self):
+        from repro.errors import SignalError
+
+        service = CompilationService(max_entries=4)
+        with pytest.raises(SignalError):
+            service.compile_batch(self.BROKEN, jobs=3)
+        stats = service.statistics()
+        assert stats["scopes"] == 0
+        assert stats["cache_entries"] == 0
+
+    def test_mixed_batch_keeps_only_successful_scopes(self):
+        from repro.errors import SignalError
+
+        service = CompilationService()
+        sources = [COUNTER_SOURCE, self.BROKEN[0], WATCHDOG_SOURCE, self.BROKEN[1]]
+        with pytest.raises(SignalError):
+            service.compile_batch(sources, jobs=4)
+        # Every cached (successful) entry still owns at least one scope;
+        # no scope belongs to a program that failed.
+        stats = service.statistics()
+        assert stats["cache_entries"] == stats["scopes"] == 2
+
+    def test_service_stays_usable_after_failing_batch(self):
+        from repro.errors import SignalError
+
+        service = CompilationService()
+        with pytest.raises(SignalError):
+            service.compile_batch(self.BROKEN, jobs=2)
+        result = service.compile(COUNTER_SOURCE)
+        assert run_trace(result) == run_trace(compile_source(COUNTER_SOURCE))
+
+    def test_worker_cancellation_releases_scopes(self):
+        """BaseException (not just Exception) must release the scope."""
+
+        class Cancelled(BaseException):
+            pass
+
+        service = CompilationService()
+
+        # Simulate a worker killed mid-compilation: the pipeline raises a
+        # BaseException after the scope was registered.
+        original = service._compile_program
+
+        def dying(*args, **kwargs):
+            original(*args, **kwargs)
+            raise Cancelled()
+
+        service._compile_program = dying
+        with pytest.raises(Cancelled):
+            service.compile(COUNTER_SOURCE)
+        assert service.statistics()["scopes"] == 0
+
+
+class TestPoolHygiene:
+    SOURCES = [COUNTER_SOURCE, WATCHDOG_SOURCE, ACCUMULATOR_SOURCE, ALARM_SOURCE]
+
+    def test_pooled_manager_recycled_at_watermark(self):
+        # Watermark 1: every cache miss overflows the budget, so each
+        # compilation must land on a fresh pooled manager (ids are distinct
+        # because the cached results keep the old managers alive).
+        service = CompilationService(max_pool_nodes=1)
+        managers = set()
+        for source in self.SOURCES:
+            result = service.compile(source)
+            managers.add(id(result.hierarchy.manager.base))
+        stats = service.statistics()
+        assert stats["pool_recycles"] == len(self.SOURCES)
+        assert len(managers) == len(self.SOURCES)
+
+    def test_recycling_preserves_correctness(self):
+        """Traces across a recycle match an unpooled compiler exactly."""
+        service = CompilationService(max_pool_nodes=30)
+        for _ in range(2):  # second round: hits + recompiles after recycling
+            for source in self.SOURCES:
+                pooled = service.compile(source)
+                reference = compile_source(source)
+                assert pooled.python_source() == reference.python_source()
+                assert run_trace(pooled) == run_trace(reference)
+            service.clear_cache()
+        assert service.statistics()["pool_recycles"] >= 2
+
+    def test_recycling_drops_old_manager_scopes(self):
+        service = CompilationService(max_pool_nodes=1)  # recycle after every miss
+        service.compile(COUNTER_SOURCE)
+        service.compile(WATCHDOG_SOURCE)
+        stats = service.statistics()
+        # Scopes on recycled managers are gone; only bounded bookkeeping stays.
+        assert stats["scopes"] == 0
+        assert stats["pool_recycles"] == 2
+        # Cached results still hand out working executables.
+        hit = service.compile(COUNTER_SOURCE)
+        assert run_trace(hit) == run_trace(compile_source(COUNTER_SOURCE))
+
+    def test_worker_managers_retired_at_watermark(self):
+        service = CompilationService(max_pool_nodes=30)
+        service.compile_batch(self.SOURCES, jobs=2)
+        stats = service.statistics()
+        assert stats["worker_recycles"] >= 1
+        assert stats["worker_managers"] <= 2
+        # Retired workers must not leave scope bookkeeping behind for
+        # programs that are no longer cached once the LRU evicts them.
+        service.clear_cache()
+        assert service.statistics()["scopes"] == 0
+
+    def test_no_recycling_without_watermark(self):
+        service = CompilationService()
+        for source in self.SOURCES:
+            service.compile(source)
+        stats = service.statistics()
+        assert stats["pool_recycles"] == 0
+        assert stats["max_pool_nodes"] == 0

@@ -1,0 +1,167 @@
+"""The on-disk compile store: round-trips, corruption tolerance, rehydration."""
+
+import json
+
+import pytest
+
+from repro import GenerationStyle, compile_source
+from repro.lang.parser import parse_process
+from repro.lang.kernel import normalize
+from repro.programs import ALARM_SOURCE, COUNTER_SOURCE
+from repro.runtime import ReactiveExecutor, random_oracle
+from repro.service.store import (
+    STORE_FORMAT,
+    CompileStore,
+    executable_from_record,
+    record_from_result,
+    store_key,
+    types_from_record,
+)
+
+STYLE = GenerationStyle.HIERARCHICAL
+
+
+def fingerprint_of(source):
+    return normalize(parse_process(source)).fingerprint()
+
+
+def make_record(source=COUNTER_SOURCE, build_flat=False):
+    result = compile_source(source, build_flat=build_flat)
+    record = record_from_result(result, STYLE, build_flat=build_flat)
+    key = store_key(result.program.fingerprint(), STYLE, build_flat, True)
+    return result, record, key
+
+
+def run_trace(executable, types, steps=15, seed=11):
+    executable.reset()
+    trace = ReactiveExecutor(executable).run(steps, random_oracle(types, seed=seed))
+    return [(s.inputs, s.outputs, s.observations) for s in trace]
+
+
+class TestRoundTrip:
+    def test_put_then_get_returns_the_record(self, tmp_path):
+        _, record, key = make_record()
+        store = CompileStore(tmp_path)
+        store.put(key, record)
+        assert store.get(key) == record
+        assert len(store) == 1
+        stats = store.statistics()
+        assert stats["hits"] == 1 and stats["writes"] == 1
+        assert stats["disk_bytes"] > 0
+
+    def test_records_are_json_all_the_way_down(self, tmp_path):
+        """The record must survive a real serialize/deserialize cycle."""
+        _, record, key = make_record(build_flat=True)
+        assert json.loads(json.dumps(record)) == record
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = CompileStore(tmp_path)
+        assert store.get(("no-such-fingerprint", STYLE.value, False, True)) is None
+        assert store.statistics()["misses"] == 1
+
+    def test_keys_distinguish_options(self, tmp_path):
+        _, record, _ = make_record()
+        fingerprint = record["fingerprint"]
+        store = CompileStore(tmp_path)
+        store.put(store_key(fingerprint, STYLE, False, True), record)
+        assert store.get(store_key(fingerprint, GenerationStyle.FLAT, False, True)) is None
+        assert store.get(store_key(fingerprint, STYLE, True, True)) is None
+        assert store.get(store_key(fingerprint, STYLE, False, True)) is not None
+
+    def test_reformatted_source_shares_one_entry(self, tmp_path):
+        """The disk key normalizes surface text away, like the LRU key."""
+        reformatted = "\n".join(
+            line.rstrip() + "  " for line in COUNTER_SOURCE.splitlines()
+        )
+        assert fingerprint_of(COUNTER_SOURCE) == fingerprint_of(reformatted)
+
+    def test_clear_removes_entries(self, tmp_path):
+        _, record, key = make_record()
+        store = CompileStore(tmp_path)
+        store.put(key, record)
+        store.clear()
+        assert len(store) == 0
+        assert store.get(key) is None
+
+
+class TestCorruptionTolerance:
+    def test_truncated_entry_is_dropped_and_missed(self, tmp_path):
+        _, record, key = make_record()
+        store = CompileStore(tmp_path)
+        store.put(key, record)
+        entry = next(p for p in tmp_path.iterdir() if p.suffix == ".json")
+        entry.write_text(entry.read_text()[: len(entry.read_text()) // 2])
+        assert store.get(key) is None
+        assert store.statistics()["invalid"] == 1
+        assert not entry.exists()  # quarantined, not retried forever
+
+    def test_foreign_format_version_is_not_trusted(self, tmp_path):
+        _, record, key = make_record()
+        store = CompileStore(tmp_path)
+        store.put(key, dict(record, format=STORE_FORMAT + 1))
+        assert store.get(key) is None
+        assert store.statistics()["invalid"] == 1
+
+    def test_fingerprint_mismatch_is_rejected(self, tmp_path):
+        """A record must describe the program its key claims it does."""
+        _, record, key = make_record()
+        store = CompileStore(tmp_path)
+        store.put(key, dict(record, fingerprint="someone-else"))
+        assert store.get(key) is None
+
+    def test_option_mismatch_is_rejected(self, tmp_path):
+        """A mis-placed record (e.g. a botched directory rebuild) must not
+        serve artifacts for the wrong code-generation options."""
+        _, record, key = make_record()
+        store = CompileStore(tmp_path)
+        store.put(key, dict(record, style=GenerationStyle.FLAT.value))
+        assert store.get(key) is None
+        assert store.statistics()["invalid"] == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        _, record, key = make_record()
+        store = CompileStore(tmp_path)
+        for _ in range(3):
+            store.put(key, record)
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
+        assert leftovers == []
+        assert len(store) == 1
+
+
+class TestRehydration:
+    def test_rehydrated_executable_matches_fresh_compile(self, tmp_path):
+        result, record, key = make_record(ALARM_SOURCE)
+        store = CompileStore(tmp_path)
+        store.put(key, record)
+        back = store.get(key)
+        executable = executable_from_record(back)
+        types = types_from_record(back)
+        assert types == result.types
+        assert run_trace(executable, types) == run_trace(result.executable, result.types)
+
+    def test_rehydrated_flat_executable(self, tmp_path):
+        result, record, _ = make_record(COUNTER_SOURCE, build_flat=True)
+        executable = executable_from_record(record, flat=True)
+        assert executable.style is GenerationStyle.FLAT
+        assert run_trace(executable, result.types) == run_trace(
+            result.executable_flat, result.types
+        )
+
+    def test_record_without_flat_executable_refuses_flat(self):
+        _, record, _ = make_record(COUNTER_SOURCE, build_flat=False)
+        with pytest.raises(ValueError):
+            executable_from_record(record, flat=True)
+
+    def test_rehydrated_executable_is_isolated(self):
+        """Two rehydrations never share delay-register state."""
+        _, record, _ = make_record()
+        first = executable_from_record(record)
+        second = executable_from_record(record)
+        assert first.step_instance is not second.step_instance
+
+    def test_artifacts_match_a_fresh_compile(self):
+        result, record, _ = make_record()
+        assert record["artifacts"]["python"] == result.python_source(STYLE)
+        assert record["artifacts"]["c"] == result.c_source(STYLE)
+        assert record["artifacts"]["tree"] == result.tree_text()
+        assert record["statistics"] == result.statistics()

@@ -218,6 +218,17 @@ class BDDManager:
             "ite_cache_entries": len(self._ite_cache),
         }
 
+    def fresh_like(self) -> "BDDManager":
+        """A new empty manager carrying this manager's configuration.
+
+        This is the recycling primitive of the service's pool hygiene: the
+        replacement manager must inherit the node budget and computed-cache
+        setting, never the (grown) unique table.
+        """
+        return BDDManager(
+            max_nodes=self.max_nodes, use_computed_cache=self.use_computed_cache
+        )
+
     # -- terminals and variables ----------------------------------------------
     @property
     def true(self) -> BDD:

@@ -17,6 +17,8 @@ cache), optionally in parallel::
 
     python -m repro batch a.sig b.sig c.sig      # sequential, pooled manager
     python -m repro batch *.sig --jobs 4         # 4 worker threads
+    python -m repro batch *.sig --jobs 4 --workers processes   # 4 worker processes
+    python -m repro batch *.sig --shards 4       # shard the pooled manager
     python -m repro batch *.sig --repeat 3       # demonstrate cache hits
     python -m repro batch *.sig --cache-stats    # print service statistics
     python -m repro batch *.sig --max-pool-nodes 200000   # recycle watermark
@@ -119,7 +121,27 @@ def build_batch_argument_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=1,
         metavar="N",
-        help="number of worker threads (default 1: sequential on the pooled manager)",
+        help="number of workers (default 1: sequential on the pooled manager)",
+    )
+    parser.add_argument(
+        "--workers",
+        choices=["threads", "processes"],
+        default="threads",
+        help=(
+            "worker backend for --jobs: 'threads' (GIL-bound, returns live "
+            "results) or 'processes' (true multi-core; workers return "
+            "artifact records)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        metavar="K",
+        help=(
+            "shard the pooled BDD manager across K managers routed by "
+            "kernel-fingerprint hash (default 1)"
+        ),
     )
     parser.add_argument(
         "--repeat",
@@ -206,6 +228,54 @@ def build_serve_argument_parser() -> argparse.ArgumentParser:
             "exceeds N nodes (default: never)"
         ),
     )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        metavar="K",
+        help=(
+            "shard the pooled BDD manager across K managers routed by "
+            "kernel-fingerprint hash (default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="number of concurrent request workers (default 1: serialized)",
+    )
+    parser.add_argument(
+        "--workers",
+        choices=["threads", "processes"],
+        default="threads",
+        help=(
+            "how cache misses compile when --jobs > 1: 'threads' on the "
+            "sharded pool (GIL-bound) or 'processes' on a worker-process "
+            "pool (true multi-core)"
+        ),
+    )
+    parser.add_argument(
+        "--log-requests",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append one JSON line per request (op, outcome, origin, "
+            "duration) to PATH, or to stdout when PATH is omitted"
+        ),
+    )
+    parser.add_argument(
+        "--store-max-bytes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "disk-store budget: after each spill, prune least-recently-used "
+            "entries until the store is at most N bytes (requires --store)"
+        ),
+    )
     return parser
 
 
@@ -271,39 +341,64 @@ def run_batch(argv: List[str]) -> int:
 
     style = GenerationStyle.FLAT if arguments.flat else GenerationStyle.HIERARCHICAL
     service = CompilationService(
-        max_entries=arguments.max_entries, max_pool_nodes=arguments.max_pool_nodes
+        max_entries=arguments.max_entries,
+        max_pool_nodes=arguments.max_pool_nodes,
+        shards=arguments.shards,
     )
-    for round_index in range(arguments.repeat):
-        started = time.perf_counter()
-        hits_before = service.statistics()["cache_hits"]
-        try:
-            results = service.compile_batch(sources, jobs=arguments.jobs, style=style)
-        except SignalError as batch_error:
-            # Identify the culprit: recompile sequentially (sources that
-            # already compiled are served from the cache, so this is cheap)
-            # and report the first failing path.
-            for path, source in zip(arguments.sources, sources):
-                try:
-                    service.compile(source, style=style)
-                except SignalError as error:
-                    print(f"error: {path}: {error}", file=sys.stderr)
+    with service:  # shuts the worker-process pool down on exit
+        for round_index in range(arguments.repeat):
+            started = time.perf_counter()
+            hits_before = service.statistics()["cache_hits"]
+            try:
+                results = service.compile_batch(
+                    sources, jobs=arguments.jobs, style=style, workers=arguments.workers
+                )
+            except SignalError as batch_error:
+                # Identify the culprit.  Process batches annotate the error
+                # with the failing source's index (the parent compiled
+                # nothing, so recompiling to find it would redo the whole
+                # batch); thread batches recompile sequentially instead --
+                # already-compiled sources are cache hits, so that is cheap.
+                culprit = getattr(batch_error, "batch_index", None)
+                if culprit is not None:
+                    print(
+                        f"error: {arguments.sources[culprit]}: {batch_error}",
+                        file=sys.stderr,
+                    )
                     return 1
-            print(f"error: batch compilation failed: {batch_error}", file=sys.stderr)
-            return 1
-        elapsed = time.perf_counter() - started
-        hits = service.statistics()["cache_hits"] - hits_before
-        print(
-            f"round {round_index + 1}: compiled {len(results)} program(s) "
-            f"in {elapsed * 1000.0:.1f} ms ({hits} cache hit(s))"
-        )
-        for path, result in zip(arguments.sources, results):
-            stats = result.statistics()
+                for path, source in zip(arguments.sources, sources):
+                    try:
+                        service.compile(source, style=style)
+                    except SignalError as error:
+                        print(f"error: {path}: {error}", file=sys.stderr)
+                        return 1
+                print(f"error: batch compilation failed: {batch_error}", file=sys.stderr)
+                return 1
+            elapsed = time.perf_counter() - started
+            if arguments.workers == "processes":
+                # Worker-process caches are not the service's; hit counts
+                # would be misleading here.
+                summary = f"{arguments.jobs} process worker(s)"
+            else:
+                hits = service.statistics()["cache_hits"] - hits_before
+                summary = f"{hits} cache hit(s)"
             print(
-                f"  {path}: process {result.name}, {stats['classes']} classes, "
-                f"{stats['free_clocks']} free clock(s), {stats['unresolved']} unresolved"
+                f"round {round_index + 1}: compiled {len(results)} program(s) "
+                f"in {elapsed * 1000.0:.1f} ms ({summary})"
             )
-    if arguments.cache_stats:
-        print(json.dumps(service.statistics(), indent=2, sort_keys=True))
+            for path, result in zip(arguments.sources, results):
+                # Thread batches yield live results, process batches yield
+                # artifact records; both carry the same statistics.
+                if isinstance(result, dict):
+                    name, stats = result["name"], result["statistics"]
+                else:
+                    name, stats = result.name, result.statistics()
+                print(
+                    f"  {path}: process {name}, {stats['classes']} classes, "
+                    f"{stats['free_clocks']} free clock(s), {stats['unresolved']} unresolved"
+                )
+        if arguments.cache_stats:
+            print(json.dumps(service.statistics(), indent=2, sort_keys=True))
     return 0
 
 
@@ -311,11 +406,19 @@ def run_serve(argv: List[str]) -> int:
     """The ``serve`` subcommand: run the compilation daemon until killed."""
     parser = build_serve_argument_parser()
     arguments = parser.parse_args(argv)
+    if arguments.store_max_bytes is not None and arguments.store is None:
+        print("error: --store-max-bytes requires --store", file=sys.stderr)
+        return 2
 
     daemon = CompilationDaemon(
         store=arguments.store,
         max_entries=arguments.max_entries,
         max_pool_nodes=arguments.max_pool_nodes,
+        shards=arguments.shards,
+        workers=arguments.workers,
+        jobs=arguments.jobs,
+        request_log=arguments.log_requests,
+        store_max_bytes=arguments.store_max_bytes,
     )
 
     def announce() -> None:

@@ -17,22 +17,32 @@
   client library behind ``python -m repro remote-compile``.
 """
 
-from .cache import CacheStats, LRUCache, source_digest
+from .cache import CacheStats, LRUCache, shard_for_fingerprint, source_digest
 from .client import RemoteCompiler, RemoteError, RemoteResult
 from .daemon import PROTOCOL_VERSION, CompilationDaemon, ThreadedDaemon
-from .service import CompilationService
-from .store import CompileStore, record_from_result, store_key
+from .service import WORKER_MODES, CompilationService
+from .store import (
+    CompileStore,
+    executable_from_record,
+    record_from_result,
+    store_key,
+    types_from_record,
+)
 
 __all__ = [
     "CacheStats",
     "LRUCache",
     "source_digest",
+    "shard_for_fingerprint",
     "CompilationService",
+    "WORKER_MODES",
     "CompilationDaemon",
     "ThreadedDaemon",
     "PROTOCOL_VERSION",
     "CompileStore",
     "record_from_result",
+    "executable_from_record",
+    "types_from_record",
     "store_key",
     "RemoteCompiler",
     "RemoteError",

@@ -46,7 +46,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
 
-__all__ = ["CacheStats", "LRUCache", "source_digest"]
+__all__ = ["CacheStats", "LRUCache", "source_digest", "shard_for_fingerprint"]
 
 T = TypeVar("T")
 
@@ -54,6 +54,25 @@ T = TypeVar("T")
 def source_digest(source: str) -> str:
     """SHA-256 of raw source text (the exact-repeat fast path key)."""
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def shard_for_fingerprint(fingerprint: str, shards: int) -> int:
+    """The pool shard a kernel fingerprint routes to (``0 <= index < shards``).
+
+    The map is a pure function of the fingerprint text and the shard count:
+    the same program always lands on the same shard of a given service (so
+    recompilations find their warm scope and value encodings again), across
+    service instances and across OS processes (unlike the salted built-in
+    ``hash``).  Fingerprints are SHA-256 hex digests already, but the router
+    re-hashes so that any opaque string routes uniformly -- a prefix of a
+    structured key would not.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    if shards == 1:
+        return 0
+    digest = hashlib.sha256(fingerprint.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
 
 
 @dataclass

@@ -180,9 +180,30 @@ class RemoteCompiler:
         """Drop the daemon's in-memory caches (and the disk store if asked)."""
         self.request({"op": "clear-cache", "store": store})
 
-    def shutdown(self) -> None:
-        """Ask the daemon to exit after acknowledging this request."""
-        self.request({"op": "shutdown"})
+    def prune(self, max_bytes: Optional[int] = None) -> Dict[str, int]:
+        """Shrink the daemon's disk store to ``max_bytes`` (LRU eviction).
+
+        Omitting ``max_bytes`` uses the daemon's configured
+        ``--store-max-bytes`` policy; if the daemon has neither a store nor
+        a policy the call raises :class:`RemoteError` (``invalid-request``).
+        Returns the prune report (``removed``, ``removed_bytes``, ...).
+        """
+        payload: Dict[str, object] = {"op": "prune"}
+        if max_bytes is not None:
+            payload["max_bytes"] = max_bytes
+        response = self.request(payload)
+        return {
+            key: response[key]
+            for key in ("removed", "removed_bytes", "remaining_entries", "remaining_bytes")
+        }
+
+    def shutdown(self, drain: bool = False) -> None:
+        """Ask the daemon to exit after acknowledging this request.
+
+        ``drain=True`` asks for a graceful stop: the daemon answers every
+        request already in flight before closing connections.
+        """
+        self.request({"op": "shutdown", "drain": drain})
 
     def close(self) -> None:
         try:

@@ -31,10 +31,33 @@ Requests are JSON objects with an ``op`` field; every response carries
 client bug, not a daemon bug).  The full request/response schema and the
 error-code table are documented in ``docs/ARCHITECTURE.md``.
 
-The server processes requests on a single worker thread: compilations are
-serialized (the pooled manager is not thread-safe) while the event loop
-stays free to accept connections and read requests, so concurrent clients
-queue fairly instead of timing out on connect.
+Concurrency
+-----------
+
+The server processes requests on a pool of ``jobs`` worker threads (one by
+default) while the event loop stays free to accept connections and read
+requests, so concurrent clients queue fairly instead of timing out on
+connect.  With ``jobs > 1`` the daemon answers cache tiers concurrently and
+compiles misses in parallel:
+
+* ``workers="threads"`` compiles on the wrapped service's sharded pool --
+  programs on different shards compile concurrently (each shard's lock
+  serializes its own programs), bounded by the GIL;
+* ``workers="processes"`` ships each miss to the service's worker-process
+  pool and parks the request thread on the result, so ``jobs`` compilations
+  proceed on ``jobs`` cores.
+
+Operability
+-----------
+
+``SIGTERM`` triggers a *graceful drain*: the daemon stops accepting new
+work, waits (up to ``drain_timeout`` seconds) for in-flight requests to
+finish and their responses to be written, then exits -- a supervisor
+restart never loses a compile that was already running.  The ``shutdown``
+op accepts ``{"drain": true}`` for the same behaviour on request.  An
+opt-in request log (``request_log=`` / ``--log-requests``) appends one JSON
+line per request -- op, outcome, origin tier, duration -- to a file,
+``"-"`` for stdout, or any writable stream.
 """
 
 from __future__ import annotations
@@ -44,11 +67,14 @@ import contextlib
 import errno
 import json
 import os
+import signal
 import socket
 import stat
+import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, IO, Optional, Tuple, Union
 
 from ..codegen.ir import GenerationStyle
 from ..errors import (
@@ -66,7 +92,7 @@ from ..lang.kernel import normalize
 from ..lang.parser import parse_process
 from ..runtime import ReactiveExecutor, random_oracle, timing_diagram
 from .cache import LRUCache, source_digest
-from .service import CompilationService
+from .service import WORKER_MODES, CompilationService
 from .store import (
     CompileStore,
     executable_from_record,
@@ -145,13 +171,27 @@ class CompilationDaemon:
         store: Optional[Union[CompileStore, str, os.PathLike]] = None,
         max_entries: int = 128,
         max_pool_nodes: Optional[int] = None,
+        shards: int = 1,
+        workers: str = "threads",
+        jobs: int = 1,
+        request_log: Optional[Union[str, os.PathLike, IO[str]]] = None,
+        store_max_bytes: Optional[int] = None,
+        drain_timeout: float = 30.0,
     ):
+        if workers not in WORKER_MODES:
+            raise ValueError(f"workers must be one of {WORKER_MODES} (got {workers!r})")
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
         self.service = service if service is not None else CompilationService(
-            max_entries=max_entries, max_pool_nodes=max_pool_nodes
+            max_entries=max_entries, max_pool_nodes=max_pool_nodes, shards=shards
         )
         if store is not None and not isinstance(store, CompileStore):
             store = CompileStore(store)
         self.store: Optional[CompileStore] = store
+        self._workers = workers
+        self._jobs = jobs
+        self._store_max_bytes = store_max_bytes
+        self.drain_timeout = drain_timeout
         self._records: LRUCache[Dict[str, object]] = LRUCache(max_entries)
         self._digests: LRUCache[str] = LRUCache(max(max_entries * 4, 16))
         self._lock = threading.RLock()
@@ -162,10 +202,19 @@ class CompilationDaemon:
         self._compiles = 0
         self._errors = 0
         self._store_put_failures = 0
+        self._store_pruned_entries = 0
+        # Request log (opened lazily; "-" = stdout, streams used as-is).
+        self._request_log_target = request_log
+        self._request_log: Optional[IO[str]] = None
+        self._request_log_owned = False
+        self._log_lock = threading.Lock()
         # Server state (populated by serve()).
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._ready = threading.Event()
+        self._drain_requested = False
+        self._inflight = 0
+        self._idle: Optional[asyncio.Event] = None
         self.address: Optional[Union[str, Tuple[str, int]]] = None
 
     # -- engine --------------------------------------------------------------
@@ -180,35 +229,59 @@ class CompilationDaemon:
 
         Returns ``(record, origin)`` where origin is ``"memory"``,
         ``"store"`` or ``"compiled"``.
+
+        Thread-safe without a global compile lock: the record/digest LRUs
+        and the store synchronize themselves, so ``jobs`` request threads
+        probe the tiers and compile misses concurrently.  Two threads
+        racing on the *same* key may both compile and both publish --
+        wasteful but harmless, because compilation is deterministic and
+        every tier is last-writer-wins.
         """
         with self._lock:
             self._compile_requests += 1
-            digest = source_digest(source)
-            # The digest memo lets repeat traffic reach the record tiers
-            # without parsing; it must live here (not only in the service)
-            # because a memory/store hit never enters the service at all.
-            fingerprint = self._digests.get(digest)
-            process = None
-            program = None
-            if fingerprint is None:
-                process = parse_process(source)
-                program = normalize(process)
-                fingerprint = program.fingerprint()
-                self._digests.put(digest, fingerprint)
-            key = store_key(fingerprint, style, build_flat, observable)
+        digest = source_digest(source)
+        # The digest memo lets repeat traffic reach the record tiers
+        # without parsing; it must live here (not only in the service)
+        # because a memory/store hit never enters the service at all.
+        fingerprint = self._digests.get(digest)
+        process = None
+        program = None
+        if fingerprint is None:
+            process = parse_process(source)
+            program = normalize(process)
+            fingerprint = program.fingerprint()
+            self._digests.put(digest, fingerprint)
+        key = store_key(fingerprint, style, build_flat, observable)
 
-            record = self._records.get(key)
-            if record is not None:
+        record = self._records.get(key)
+        if record is not None:
+            with self._lock:
                 self._memory_hits += 1
-                return record, "memory"
-
             if self.store is not None:
-                record = self.store.get(key)
-                if record is not None:
-                    self._store_hits += 1
-                    self._records.put(key, record)
-                    return record, "store"
+                # Keep the disk entry's recency honest: without this, hot
+                # records served from memory would look cold to prune().
+                self.store.touch(key)
+            return record, "memory"
 
+        if self.store is not None:
+            record = self.store.get(key)
+            if record is not None:
+                with self._lock:
+                    self._store_hits += 1
+                self._records.put(key, record)
+                return record, "store"
+
+        if self._workers == "processes":
+            # Park this request thread on a worker process: the pipeline
+            # runs on another core, and sibling request threads do the same.
+            record = self.service.compile_record_in_process(
+                source,
+                style=style,
+                build_flat=build_flat,
+                observable=observable,
+                jobs=self._jobs,
+            )
+        else:
             if process is None:
                 process = parse_process(source)
                 program = normalize(process)
@@ -222,23 +295,41 @@ class CompilationDaemon:
             record = record_from_result(
                 result, style, build_flat=build_flat, observable=observable
             )
-            self._records.put(key, record)
-            if self.store is not None:
-                # Best-effort spill: the compile succeeded and the record is
-                # served from memory either way; a full disk must not turn a
-                # good compilation into an error response.
-                try:
-                    self.store.put(key, record)
-                except OSError:
+        self._records.put(key, record)
+        if self.store is not None:
+            # Best-effort spill: the compile succeeded and the record is
+            # served from memory either way; a full disk must not turn a
+            # good compilation into an error response.
+            try:
+                self.store.put(key, record)
+            except OSError:
+                with self._lock:
                     self._store_put_failures += 1
+            else:
+                self._enforce_store_budget()
+        with self._lock:
             self._compiles += 1
-            return record, "compiled"
+        return record, "compiled"
+
+    def _enforce_store_budget(self) -> None:
+        """Apply the ``--store-max-bytes`` policy after a successful spill."""
+        if self._store_max_bytes is None or self.store is None:
+            return
+        try:
+            report = self.store.enforce_budget(self._store_max_bytes)
+        except OSError:  # pragma: no cover - scan raced a concurrent wipe
+            return
+        if report is not None and report["removed"]:
+            with self._lock:
+                self._store_pruned_entries += report["removed"]
 
     def statistics(self) -> Dict[str, object]:
         """The three-tier cache counters plus the wrapped layers' stats."""
         with self._lock:
             daemon = {
                 "protocol": PROTOCOL_VERSION,
+                "workers": self._workers,
+                "jobs": self._jobs,
                 "requests": self._requests,
                 "compile_requests": self._compile_requests,
                 "memory_hits": self._memory_hits,
@@ -246,6 +337,8 @@ class CompilationDaemon:
                 "compiles": self._compiles,
                 "errors": self._errors,
                 "store_put_failures": self._store_put_failures,
+                "store_max_bytes": self._store_max_bytes or 0,
+                "store_pruned_entries": self._store_pruned_entries,
                 "record_entries": len(self._records),
             }
         return {
@@ -262,24 +355,93 @@ class CompilationDaemon:
             if include_store and self.store is not None:
                 self.store.clear()
 
+    # -- request logging -----------------------------------------------------
+    def _log_stream(self) -> Optional[IO[str]]:
+        if self._request_log_target is None:
+            return None
+        # The lazy open must happen under the log lock: with jobs > 1 two
+        # request threads can race the first log line, and the loser's file
+        # descriptor would leak.
+        with self._log_lock:
+            if self._request_log is None:
+                target = self._request_log_target
+                if target == "-":
+                    self._request_log = sys.stdout
+                elif hasattr(target, "write"):
+                    self._request_log = target  # caller-owned stream, never closed
+                else:
+                    self._request_log = open(target, "a", encoding="utf-8")
+                    self._request_log_owned = True
+            return self._request_log
+
+    def _log_request(
+        self, op: Optional[object], response: Dict[str, object], elapsed: float
+    ) -> None:
+        """Append one JSON line per handled request (opt-in, best-effort).
+
+        The log is an operability aid, not an audit trail: a full disk or a
+        closed stream silently drops lines rather than failing requests.
+        Sources are deliberately not logged (they can be megabytes); the
+        origin tier and duration are what operators page through.
+        """
+        stream = self._log_stream()
+        if stream is None:
+            return
+        entry: Dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "op": op if isinstance(op, str) else None,
+            "ok": bool(response.get("ok")),
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+        }
+        if "origin" in response:
+            entry["origin"] = response["origin"]
+        error = response.get("error")
+        if isinstance(error, dict):
+            entry["code"] = error.get("code")
+        with self._log_lock:
+            try:
+                stream.write(json.dumps(entry) + "\n")
+                stream.flush()
+            except (OSError, ValueError):  # pragma: no cover - log must not kill requests
+                pass
+
+    def close_request_log(self) -> None:
+        """Close a log file the daemon opened itself (idempotent)."""
+        if self._request_log_owned and self._request_log is not None:
+            with contextlib.suppress(OSError):
+                self._request_log.close()
+        self._request_log = None
+        self._request_log_owned = False
+
     # -- request dispatch ----------------------------------------------------
     def handle_line(self, line: Union[str, bytes]) -> Dict[str, object]:
         """Parse one protocol line and dispatch it; never raises."""
         with self._lock:
             self._requests += 1
+        started = time.perf_counter()
         try:
             request = json.loads(line)
         except (ValueError, UnicodeDecodeError) as error:
-            return self._count_error(
+            response = self._count_error(
                 _error_response("invalid-json", f"request is not valid JSON: {error}")
             )
+            self._log_request(None, response, time.perf_counter() - started)
+            return response
         if not isinstance(request, dict):
-            return self._count_error(
+            response = self._count_error(
                 _error_response("invalid-request", "request must be a JSON object")
             )
+            self._log_request(None, response, time.perf_counter() - started)
+            return response
         return self.handle_request(request)
 
     def handle_request(self, request: Dict[str, object]) -> Dict[str, object]:
+        started = time.perf_counter()
+        response = self._dispatch(request)
+        self._log_request(request.get("op"), response, time.perf_counter() - started)
+        return response
+
+    def _dispatch(self, request: Dict[str, object]) -> Dict[str, object]:
         op = request.get("op")
         try:
             if op == "compile":
@@ -292,12 +454,16 @@ class CompilationDaemon:
                 include_store = _field(request, "store", bool, False)
                 self.clear_caches(include_store=include_store)
                 return {"ok": True, "op": "clear-cache", "store": include_store}
+            if op == "prune":
+                return self._handle_prune(request)
             if op == "shutdown":
-                return {"ok": True, "op": "shutdown"}
+                drain = _field(request, "drain", bool, False)
+                return {"ok": True, "op": "shutdown", "drain": drain}
             return self._count_error(
                 _error_response(
                     "invalid-request",
-                    f"unknown op {op!r} (expected compile/stats/ping/clear-cache/shutdown)",
+                    f"unknown op {op!r} (expected "
+                    "compile/stats/ping/clear-cache/prune/shutdown)",
                 )
             )
         except _RequestError as error:
@@ -308,6 +474,25 @@ class CompilationDaemon:
             return self._count_error(
                 _error_response("internal-error", f"{type(error).__name__}: {error}", op)
             )
+
+    def _handle_prune(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The ``prune`` op: shrink the disk store to a byte budget."""
+        if self.store is None:
+            raise _RequestError(
+                "no compile store configured (start the daemon with --store)"
+            )
+        max_bytes = request.get("max_bytes", self._store_max_bytes)
+        if max_bytes is None:
+            raise _RequestError(
+                "field 'max_bytes' is required (no --store-max-bytes policy is set)"
+            )
+        if not isinstance(max_bytes, int) or isinstance(max_bytes, bool) or max_bytes < 0:
+            raise _RequestError("field 'max_bytes' must be a non-negative integer")
+        report = self.store.prune(max_bytes)
+        if report["removed"]:
+            with self._lock:
+                self._store_pruned_entries += report["removed"]
+        return {"ok": True, "op": "prune", "max_bytes": max_bytes, **report}
 
     def _count_error(self, response: Dict[str, object]) -> Dict[str, object]:
         with self._lock:
@@ -383,11 +568,34 @@ class CompilationDaemon:
                     break
                 if not line:
                     break
-                response = await loop.run_in_executor(self._pool, self.handle_line, line)
-                writer.write((json.dumps(response) + "\n").encode("utf-8"))
-                await writer.drain()
+                # Once a drain is requested, established connections stop
+                # accepting new work too (the listener is already closed);
+                # a chatty pipelining client must not extend the shutdown,
+                # and a line read after the idle check must not start a
+                # compile that gets cancelled unanswered.  This check and
+                # the increment below run in one event-loop step (no await
+                # between them), so the drain logic in serve() observes
+                # either the refusal or the in-flight request, never a gap.
+                if self._drain_requested:
+                    break
+                # The in-flight window covers the response write as well as
+                # the compile, so a graceful drain never cancels a request
+                # whose answer has not reached the client yet.
+                self._inflight += 1
+                if self._idle is not None:
+                    self._idle.clear()
+                try:
+                    response = await loop.run_in_executor(
+                        self._pool, self.handle_line, line
+                    )
+                    writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                    await writer.drain()
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0 and self._idle is not None:
+                        self._idle.set()
                 if response.get("ok") and response.get("op") == "shutdown":
-                    self.request_shutdown()
+                    self.request_shutdown(drain=bool(response.get("drain")))
                     break
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client died
             pass
@@ -415,13 +623,31 @@ class CompilationDaemon:
         socket on ``host``/``port`` otherwise (``port=0`` picks a free
         port).  The bound address is published on ``self.address`` -- and
         ``on_ready`` (if any) is called -- before the first connection is
-        accepted.
+        accepted.  ``SIGTERM`` (where the platform and thread allow
+        installing a handler) requests a graceful drain-then-exit.
         """
         self._loop = asyncio.get_running_loop()
         self._shutdown = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._inflight = 0
+        self._drain_requested = False
         self._connections = set()
-        # One worker: compilations are serialized, the event loop is not.
-        self._pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-daemon")
+        # `jobs` request workers; with one worker compilations serialize
+        # exactly like the historical daemon, the event loop stays free.
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._jobs, thread_name_prefix="repro-daemon"
+        )
+        sigterm_installed = False
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            # Fails on non-unix loops or when the loop does not run in the
+            # main thread (e.g. ThreadedDaemon); supervisors only ever
+            # SIGTERM real `python -m repro serve` processes, which do run
+            # the loop in the main thread.
+            self._loop.add_signal_handler(
+                signal.SIGTERM, self.request_shutdown, True
+            )
+            sigterm_installed = True
         bound_socket_path = None  # only unlink a socket *this* process bound
         try:
             if socket_path is not None:
@@ -446,6 +672,12 @@ class CompilationDaemon:
                 on_ready()
             async with server:
                 await self._shutdown.wait()
+            # Graceful drain (SIGTERM / shutdown {"drain": true}): the
+            # listening socket is closed, so no new work arrives; wait for
+            # every in-flight request to finish and flush its response.
+            if self._drain_requested and self._inflight > 0:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(self._idle.wait(), timeout=self.drain_timeout)
             # Drain open connections before tearing the loop down, so their
             # tasks end cleanly instead of being killed by asyncio.run().
             for connection in list(self._connections):
@@ -453,7 +685,23 @@ class CompilationDaemon:
             if self._connections:
                 await asyncio.gather(*self._connections, return_exceptions=True)
         finally:
-            self._pool.shutdown(wait=False)
+            if sigterm_installed:
+                with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                    self._loop.remove_signal_handler(signal.SIGTERM)
+            # cancel_futures drops requests still queued behind a running
+            # one; wait=True lets the running request handler finish before
+            # the service below is closed.  Both matter: a handler that ran
+            # after close() would silently resurrect the worker-process
+            # pool as an orphan.  (A pathologically hung compile would make
+            # this wait block -- but its non-daemon executor thread would
+            # block interpreter exit regardless.)
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            if self._workers == "processes":
+                # The daemon started the service's worker-process pool; a
+                # clean exit must not leave orphan workers behind.  close()
+                # is recoverable, so an injected service stays usable.
+                self.service.close()
+            self.close_request_log()
             if bound_socket_path is not None:
                 with contextlib.suppress(OSError):
                     os.unlink(bound_socket_path)
@@ -488,10 +736,18 @@ class CompilationDaemon:
             f"another daemon is already listening on {socket_path!r}",
         )
 
-    def request_shutdown(self) -> None:
-        """Ask a running server to stop (safe from any thread; idempotent)."""
+    def request_shutdown(self, drain: bool = False) -> None:
+        """Ask a running server to stop (safe from any thread; idempotent).
+
+        With ``drain=True`` (what ``SIGTERM`` requests) the server finishes
+        and answers every in-flight request -- waiting up to
+        ``drain_timeout`` seconds -- before closing connections; without it
+        the stop is prompt and in-flight work is abandoned.
+        """
         loop, shutdown = self._loop, self._shutdown
         if loop is not None and shutdown is not None:
+            if drain:
+                self._drain_requested = True
             with contextlib.suppress(RuntimeError):  # loop already closed
                 loop.call_soon_threadsafe(shutdown.set)
 

@@ -1,11 +1,11 @@
-"""The compilation service: pooled BDD manager + compile cache + batching.
+"""The compilation service: sharded BDD pool + compile cache + batching.
 
 A :class:`CompilationService` is the long-lived, repeated-traffic front end
 of the compiler:
 
-* it owns one shared :class:`~repro.bdd.BDDManager` whose unique table and
-  ``ite`` computed cache persist across compilations; every program gets a
-  namespaced *scope* of the manager (see
+* it owns a pool of shared :class:`~repro.bdd.BDDManager` *shards* whose
+  unique tables and ``ite`` computed caches persist across compilations;
+  every program gets a namespaced *scope* of its shard (see
   :class:`~repro.bdd.ScopedBDDManager`), so unrelated programs never share
   clock variables while recompilations of the same program reuse its
   variables, value encodings and cached ``ite`` results;
@@ -15,14 +15,31 @@ of the compiler:
   repeats -- kernel-equivalent sources (e.g. reformatted text) share one
   entry;
 * :meth:`CompilationService.compile_batch` compiles many sources
-  concurrently on per-worker managers (the pooled manager is not
-  thread-safe) and merges the statistics.
+  concurrently -- on worker threads with per-worker managers, or on worker
+  **processes** that return JSON artifact records and sidestep the GIL.
 
 Cache hits return a copy of the cached ``CompilationResult`` carrying fresh
 executable instances (rebuilt from the cached generated source), so a hit
 behaves exactly like a fresh compilation and callers' simulation states are
 fully isolated; the analysis artifacts (hierarchy, schedule, sources) are
 shared.
+
+Shard map
+---------
+
+``CompilationService(shards=K)`` splits the pooled manager into ``K``
+independent managers.  A program's shard is a pure function of its kernel
+fingerprint (:func:`~repro.service.cache.shard_for_fingerprint`), so the
+same program always compiles on the same shard and finds its warm scope
+again, while distinct programs spread across shards.  Each shard carries
+its own compile lock and its own ``max_pool_nodes`` recycling: one hot
+program that blows through the watermark recycles only its shard, and every
+other shard's warm scopes survive.  Because shards never share BDD nodes,
+compilations on *different* shards may run concurrently (each shard's lock
+serializes compilations within the shard) -- this is what lets a daemon
+with several request threads compile distinct programs at the same time.
+With the default ``shards=1`` the service behaves exactly like the
+historical single-pool design.
 
 Scope lifetime
 --------------
@@ -40,7 +57,7 @@ was compiled through it, and nothing else**:
   style/option combination) is evicted, when the compilation that would
   have populated the entry raises (including ``BaseException`` such as a
   cancelled batch worker -- nothing would ever evict the entry otherwise),
-  or when its manager is recycled (see below);
+  or when its manager (shard or worker) is recycled (see below);
 * releasing a scope drops it from the registry and clears its
   value-encoding memo.  The variables and nodes the program interned in the
   manager's unique table are *not* reclaimed -- that is what manager
@@ -49,24 +66,45 @@ was compiled through it, and nothing else**:
 Pool hygiene
 ------------
 
-The pooled manager's unique table and variable registry are append-only, so
+A shard manager's unique table and variable registry are append-only, so
 under varied long-lived traffic (the daemon) they grow without bound.  The
-service accepts a ``max_pool_nodes`` watermark: after a compilation finishes
-on the pooled manager, if the manager's node count exceeds the watermark the
-manager is *recycled* -- replaced by a fresh empty one, with every scope
-registered on the old manager released.  Cached results that reference the
-old manager stay valid (their BDD handles keep the old manager object
-alive), but BDDs of results compiled before and after a recycle must not be
-combined, exactly like results from different batch workers.  Worker
-managers are checked against the same watermark when a batch job returns
-them to the idle pool and are retired instead of requeued when over budget.
+service accepts a ``max_pool_nodes`` watermark, applied **per shard**:
+after a compilation finishes on a shard, if that shard's node count exceeds
+the watermark the shard manager is *recycled* -- replaced by a fresh empty
+one, with every scope registered on the old manager released.  Cached
+results that reference the old manager stay valid (their BDD handles keep
+the old manager object alive), but BDDs of results compiled before and
+after a recycle must not be combined, exactly like results from different
+shards or batch workers.  Worker managers are checked against the same
+watermark when a batch job returns them to the idle pool and are retired
+instead of requeued when over budget.  ``statistics()["pool_recycles"]`` is
+the sum of the per-shard recycle counters (reported individually under
+``shard_stats``), so single-shard services report exactly what they always
+did.
+
+Process workers
+---------------
+
+``compile_batch(sources, jobs=N, workers="processes")`` fans the batch out
+to a persistent :class:`~concurrent.futures.ProcessPoolExecutor`.  A live
+:class:`~repro.compiler.CompilationResult` cannot cross a process boundary
+(its hierarchy, graph and schedule hold BDD handles bound to the worker's
+manager), so process workers return the JSON-safe **artifact records** of
+:func:`repro.service.store.record_from_result` -- rendered sources, the
+clock tree, statistics, and enough metadata to rebuild a runnable step via
+:func:`repro.service.store.executable_from_record`.  Each worker process
+keeps its own small ``CompilationService``, so repeats within one worker
+are warm; the pool is created lazily, reused across batches, grown when a
+larger ``jobs`` arrives, and torn down by :meth:`close` (closing is safe --
+the next process-mode call simply builds a fresh pool).
 """
 
 from __future__ import annotations
 
+import contextlib
 import queue
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import replace
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -76,12 +114,78 @@ from ..compiler import CompilationResult, compile_process
 from ..lang.ast import Process
 from ..lang.kernel import KernelProgram, normalize
 from ..lang.parser import parse_process
-from .cache import LRUCache, source_digest
+from .cache import LRUCache, shard_for_fingerprint, source_digest
+from .store import record_from_result
 
-__all__ = ["CompilationService"]
+__all__ = ["CompilationService", "WORKER_MODES"]
 
 #: cache key: (kernel fingerprint, style, build_flat, observable)
 _CacheKey = Tuple[str, GenerationStyle, bool, bool]
+
+#: accepted values of the ``workers=`` argument of :meth:`compile_batch`
+WORKER_MODES = ("threads", "processes")
+
+#: shared no-op guard for worker-manager slots (nullcontext is stateless)
+_NO_LOCK = contextlib.nullcontext()
+
+
+class _PoolShard:
+    """One shard of the pooled manager: manager + compile lock + counters.
+
+    ``lock`` serializes compilations *within* the shard (and guards manager
+    replacement during recycling); compilations on different shards never
+    contend.  ``manager`` must only be read under ``lock`` by compiling
+    code, so a concurrent recycle cannot swap it mid-pipeline.
+    """
+
+    __slots__ = ("index", "manager", "lock", "recycles")
+
+    def __init__(self, index: int, manager: BDDManager):
+        self.index = index
+        self.manager = manager
+        self.lock = threading.RLock()
+        self.recycles = 0
+
+
+class _WorkerSlot:
+    """Duck-typed shard for a checked-out batch worker manager.
+
+    Worker managers are owned by exactly one batch job for the duration of
+    the checkout, so their guard is a shared no-op context manager.
+    """
+
+    __slots__ = ("manager", "lock")
+
+    def __init__(self, manager: BDDManager):
+        self.manager = manager
+        self.lock = _NO_LOCK
+
+
+# -- process-pool worker side -------------------------------------------------
+#: per-worker-process compilation service (warm caches within one worker)
+_WORKER_SERVICE: Optional["CompilationService"] = None
+
+
+def _process_worker_record(payload: Tuple[str, str, bool, bool]) -> Dict[str, object]:
+    """Compile one source in a worker process; return its artifact record.
+
+    Runs in the pool's child processes.  The worker keeps a small private
+    ``CompilationService`` alive between tasks so repeated sources within
+    one worker hit a warm cache; the record that crosses back to the parent
+    is plain JSON (see the module docstring).  Toolchain errors propagate
+    to the parent as the original ``SignalError`` subclass.
+    """
+    global _WORKER_SERVICE
+    if _WORKER_SERVICE is None:
+        _WORKER_SERVICE = CompilationService(max_entries=64)
+    source, style_value, build_flat, observable = payload
+    style = GenerationStyle(style_value)
+    result = _WORKER_SERVICE.compile(
+        source, style=style, build_flat=build_flat, observable=observable
+    )
+    return record_from_result(
+        result, style, build_flat=build_flat, observable=observable
+    )
 
 
 class CompilationService:
@@ -93,16 +197,23 @@ class CompilationService:
         Capacity of the LRU compile cache (whole compilation results).
     manager:
         Optionally, an existing shared manager to pool on (a fresh one is
-        created by default).
+        created by default).  Only valid with ``shards=1`` -- a sharded
+        pool owns all of its managers.
     max_pool_nodes:
-        Node-count watermark for pool hygiene: when a compilation leaves
-        the pooled manager (or returns a batch worker manager) with more
-        than this many nodes, the manager is recycled and its scopes are
-        released.  ``None`` (the default) disables recycling.
+        Node-count watermark for pool hygiene, applied per shard: when a
+        compilation leaves a shard manager (or returns a batch worker
+        manager) with more than this many nodes, that manager is recycled
+        and its scopes are released.  ``None`` (the default) disables
+        recycling.
+    shards:
+        Number of independent pooled managers.  Programs route to shards by
+        kernel-fingerprint hash (see the module docstring); compilations on
+        different shards may run concurrently.
 
-    ``compile``/``compile_process`` are meant to be called from one thread
-    (the pooled manager is not thread-safe); ``compile_batch`` is the
-    concurrent entry point and isolates workers on their own managers.
+    ``compile``/``compile_process`` serialize per shard (concurrent calls
+    for programs on different shards proceed in parallel);
+    ``compile_batch`` is the fan-out entry point and isolates thread
+    workers on their own managers or ships work to worker processes.
     """
 
     def __init__(
@@ -110,8 +221,18 @@ class CompilationService:
         max_entries: int = 128,
         manager: Optional[BDDManager] = None,
         max_pool_nodes: Optional[int] = None,
+        shards: int = 1,
     ):
-        self.manager = manager if manager is not None else BDDManager()
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if manager is not None and shards != 1:
+            raise ValueError(
+                "manager= cannot be combined with shards>1: a sharded pool "
+                "owns all of its managers"
+            )
+        self._pool_shards: List[_PoolShard] = [
+            _PoolShard(0, manager if manager is not None else BDDManager())
+        ] + [_PoolShard(index, BDDManager()) for index in range(1, shards)]
         self.max_pool_nodes = max_pool_nodes
         self._results: LRUCache[CompilationResult] = LRUCache(
             max_entries, on_evict=self._on_result_evicted
@@ -127,9 +248,34 @@ class CompilationService:
         # highest concurrency ever used and reused across batches.
         self._idle_workers: "queue.SimpleQueue[BDDManager]" = queue.SimpleQueue()
         self._worker_managers: List[BDDManager] = []
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._process_jobs = 0
+        self._process_borrows = 0
         self._requests = 0
-        self._pool_recycles = 0
         self._worker_recycles = 0
+        self._process_records = 0
+
+    # -- shard routing -------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        """Number of pool shards (1 = the historical single-pool layout)."""
+        return len(self._pool_shards)
+
+    @property
+    def manager(self) -> BDDManager:
+        """The first shard's manager (the whole pool when ``shards=1``)."""
+        return self._pool_shards[0].manager
+
+    def shard_index(self, fingerprint: str) -> int:
+        """The shard a kernel fingerprint routes to (stable, process-safe)."""
+        return shard_for_fingerprint(fingerprint, len(self._pool_shards))
+
+    def shard_manager(self, fingerprint: str) -> BDDManager:
+        """The manager a program currently compiles on (for tests/inspection)."""
+        return self._shard_for(fingerprint).manager
+
+    def _shard_for(self, fingerprint: str) -> _PoolShard:
+        return self._pool_shards[self.shard_index(fingerprint)]
 
     # -- cache plumbing -----------------------------------------------------
     @staticmethod
@@ -144,10 +290,10 @@ class CompilationService:
     def _scope_for(self, manager: BDDManager, fingerprint: str) -> ScopedBDDManager:
         """The persistent per-program scope of a manager.
 
-        Scopes are cached per (manager, program) so a recompilation -- on the
-        pooled manager or on a reused worker manager -- finds its variables
-        and value encodings again.  The full fingerprint is the namespace:
-        distinct kernels can never share a scope.
+        Scopes are cached per (manager, program) so a recompilation -- on
+        the program's pool shard or on a reused worker manager -- finds its
+        variables and value encodings again.  The full fingerprint is the
+        namespace: distinct kernels can never share a scope.
         """
         key = (id(manager), fingerprint)
         with self._lock:
@@ -163,7 +309,7 @@ class CompilationService:
         The scope and its encoding cache hold BDD handles; releasing them
         keeps the service's bookkeeping bounded by the LRU under varied
         traffic.  (Nodes already interned in a manager's unique table are
-        not reclaimed -- recycling the table is a ROADMAP follow-up.)
+        not reclaimed -- recycling the table is what the watermark is for.)
         """
         if any(key[0] == fingerprint for key in self._results.keys()):
             return  # another style/options entry still uses this program
@@ -202,9 +348,17 @@ class CompilationService:
         style: GenerationStyle,
         build_flat: bool,
         observable: bool,
-        manager_supplier: "Callable[[], BDDManager]",
+        slot_supplier: "Callable[[str], object]",
         program: Optional[KernelProgram] = None,
     ) -> CompilationResult:
+        """The shared miss/hit pipeline behind every compile entry point.
+
+        ``slot_supplier`` maps the program's fingerprint to the *slot* a
+        genuine miss compiles on -- a pool shard (whose lock serializes the
+        shard) or a lazily checked-out worker manager (no lock needed: the
+        checkout is exclusive).  It is only called on a miss, so fully-warm
+        traffic never touches a manager.
+        """
         with self._lock:
             self._requests += 1
 
@@ -234,8 +388,8 @@ class CompilationService:
 
         key = self._key(fingerprint, style, build_flat, observable)
         # The fast path above already charged this request with a miss; avoid
-        # double counting while still honouring a concurrent batch worker
-        # that may have filled the entry in the meantime.
+        # double counting while still honouring a concurrent worker that may
+        # have filled the entry in the meantime.
         cached = self._results.peek(key) if counted_miss else self._results.get(key)
         if cached is not None:
             return self._fresh_hit(cached)
@@ -243,10 +397,12 @@ class CompilationService:
         # Only a genuine miss needs a manager (batch workers check one out
         # of the pool lazily here, so fully-warm batches allocate nothing).
         try:
-            result = self._compile_program(
-                process, program, fingerprint, style, build_flat, observable,
-                manager_supplier(),
-            )
+            slot = slot_supplier(fingerprint)
+            with slot.lock:
+                result = self._compile_program(
+                    process, program, fingerprint, style, build_flat, observable,
+                    slot.manager,
+                )
         except BaseException:
             # A failed compilation stores no result, so nothing would ever
             # evict the scope registered above -- release it now.  This must
@@ -275,6 +431,14 @@ class CompilationService:
         )
         return replace(result, executable=executable, executable_flat=executable_flat)
 
+    def _pooled_supplier(self, used: List[_PoolShard]) -> "Callable[[str], _PoolShard]":
+        def supplier(fingerprint: str) -> _PoolShard:
+            shard = self._shard_for(fingerprint)
+            used.append(shard)
+            return shard
+
+        return supplier
+
     # -- public API ---------------------------------------------------------
     def compile(
         self,
@@ -285,16 +449,19 @@ class CompilationService:
     ) -> CompilationResult:
         """Compile SIGNAL source text, reusing pooled BDDs and cached results.
 
-        Cache misses compile on the pooled manager.  A hit may return a
-        result originally produced by :meth:`compile_batch`, whose BDDs live
-        on that batch's worker manager instead -- the result is identical in
-        behaviour, but do not combine its clock BDDs with those of a
-        pooled-manager result (check ``result.hierarchy.manager``).
+        Cache misses compile on the program's pool shard.  A hit may return
+        a result originally produced by :meth:`compile_batch`, whose BDDs
+        live on that batch's worker manager instead -- the result is
+        identical in behaviour, but do not combine its clock BDDs with
+        those of another result unless both live on one manager (check
+        ``result.hierarchy.manager``).
         """
+        used: List[_PoolShard] = []
         result = self._compile_cached(
-            source, None, style, build_flat, observable, lambda: self.manager
+            source, None, style, build_flat, observable, self._pooled_supplier(used)
         )
-        self._maybe_recycle_pooled()
+        for shard in used:
+            self._maybe_recycle_shard(shard)
         return result
 
     def compile_process(
@@ -311,12 +478,34 @@ class CompilationService:
         of ``process`` (callers like the daemon normalize first to compute
         the cache key; passing it through avoids normalizing twice).
         """
+        used: List[_PoolShard] = []
         result = self._compile_cached(
-            None, process, style, build_flat, observable, lambda: self.manager,
-            program=program,
+            None, process, style, build_flat, observable,
+            self._pooled_supplier(used), program=program,
         )
-        self._maybe_recycle_pooled()
+        for shard in used:
+            self._maybe_recycle_shard(shard)
         return result
+
+    def compile_record(
+        self,
+        source: str,
+        style: GenerationStyle = GenerationStyle.HIERARCHICAL,
+        build_flat: bool = False,
+        observable: bool = True,
+    ) -> Dict[str, object]:
+        """Compile in-process and render the JSON-safe artifact record.
+
+        The inline counterpart of :meth:`compile_record_in_process`: same
+        output shape, produced on the caller's thread through the normal
+        pooled/cached path.
+        """
+        result = self.compile(
+            source, style=style, build_flat=build_flat, observable=observable
+        )
+        return record_from_result(
+            result, style, build_flat=build_flat, observable=observable
+        )
 
     def compile_batch(
         self,
@@ -325,21 +514,45 @@ class CompilationService:
         style: GenerationStyle = GenerationStyle.HIERARCHICAL,
         build_flat: bool = False,
         observable: bool = True,
-    ) -> List[CompilationResult]:
-        """Compile many sources, optionally with ``jobs`` worker threads.
+        workers: str = "threads",
+    ):
+        """Compile many sources with ``jobs`` worker threads or processes.
 
-        Results come back in input order.  Workers that miss the cache
-        compile on a worker manager checked out from a persistent pool (at
-        most one per concurrently running job, reused across batches) so the
-        shared pooled manager is never touched concurrently; all results
-        land in the shared compile cache.  BDDs of a batch-compiled result
-        are therefore bound to its worker manager, not to ``self.manager``
-        -- combine clock BDDs across results only when both were compiled
-        sequentially.  If the same program appears twice in one batch it may
-        be compiled by two workers; the cache keeps whichever finishes last,
-        which is harmless because compilation is deterministic.
+        Results come back in input order.  The two backends differ in what
+        they can return:
+
+        * ``workers="threads"`` (default) returns a list of live
+          :class:`~repro.compiler.CompilationResult` objects.  Workers that
+          miss the cache compile on a worker manager checked out from a
+          persistent pool (at most one per concurrently running job, reused
+          across batches) so the pool shards are never touched
+          concurrently; all results land in the shared compile cache.  BDDs
+          of a batch-compiled result are therefore bound to its worker
+          manager -- combine clock BDDs across results only when both live
+          on one manager.
+        * ``workers="processes"`` returns a list of JSON-safe **artifact
+          records** (the PR-2 store format): live results cannot cross a
+          process boundary, records can -- rebuild a runnable step with
+          :func:`repro.service.store.executable_from_record`.  Compilation
+          happens in a persistent :class:`ProcessPoolExecutor` sized to
+          ``jobs``, sidestepping the GIL entirely; the parent's caches are
+          not consulted or populated (each worker process keeps its own).
+
+        If the same program appears twice in one thread batch it may be
+        compiled by two workers; the cache keeps whichever finishes last,
+        which is harmless because compilation is deterministic.  A source
+        that fails to compile raises its ``SignalError`` from the batch
+        call in either mode; in process mode the exception additionally
+        carries ``batch_index`` (the failing source's position), because
+        the parent holds no cache that could cheaply re-identify it.
         """
+        if workers not in WORKER_MODES:
+            raise ValueError(f"workers must be one of {WORKER_MODES} (got {workers!r})")
         source_list = list(sources)
+        if workers == "processes":
+            return self._compile_batch_processes(
+                source_list, jobs, style, build_flat, observable
+            )
         if jobs <= 1:
             return [
                 self.compile(s, style=style, build_flat=build_flat, observable=observable)
@@ -349,10 +562,10 @@ class CompilationService:
         def work(source: str) -> CompilationResult:
             checked_out: List[BDDManager] = []
 
-            def supplier() -> BDDManager:
+            def supplier(fingerprint: str) -> _WorkerSlot:
                 manager = self._checkout_worker_manager()
                 checked_out.append(manager)
-                return manager
+                return _WorkerSlot(manager)
 
             try:
                 return self._compile_cached(
@@ -368,6 +581,146 @@ class CompilationService:
 
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             return list(pool.map(work, source_list))
+
+    def compile_batch_records(
+        self,
+        sources: Iterable[str],
+        jobs: int = 1,
+        style: GenerationStyle = GenerationStyle.HIERARCHICAL,
+        build_flat: bool = False,
+        observable: bool = True,
+        workers: str = "threads",
+    ) -> List[Dict[str, object]]:
+        """Like :meth:`compile_batch`, but always return artifact records.
+
+        This is the uniform-output entry point for callers that compare or
+        persist batch results (benchmarks, the fuzz harness): thread and
+        serial batches render their live results into records, process
+        batches return the workers' records as-is.
+        """
+        source_list = list(sources)
+        if workers == "processes":
+            return self._compile_batch_processes(
+                source_list, jobs, style, build_flat, observable
+            )
+        results = self.compile_batch(
+            source_list, jobs=jobs, style=style, build_flat=build_flat,
+            observable=observable, workers=workers,
+        )
+        return [
+            record_from_result(r, style, build_flat=build_flat, observable=observable)
+            for r in results
+        ]
+
+    # -- process backend -----------------------------------------------------
+    def _compile_batch_processes(
+        self,
+        source_list: List[str],
+        jobs: int,
+        style: GenerationStyle,
+        build_flat: bool,
+        observable: bool,
+    ) -> List[Dict[str, object]]:
+        payloads = [
+            (source, style.value, bool(build_flat), bool(observable))
+            for source in source_list
+        ]
+        with self._borrow_process_pool(max(jobs, 1)) as pool:
+            futures = [
+                pool.submit(_process_worker_record, payload) for payload in payloads
+            ]
+            records = []
+            for index, future in enumerate(futures):
+                try:
+                    records.append(future.result())
+                except BaseException as error:
+                    # Name the culprit: the parent never compiled anything,
+                    # so without the index a caller (e.g. the CLI) would
+                    # have to recompile the whole batch to find it.
+                    if not hasattr(error, "batch_index"):
+                        error.batch_index = index
+                    raise
+        with self._lock:
+            self._requests += len(source_list)
+            self._process_records += len(records)
+        return records
+
+    def compile_record_in_process(
+        self,
+        source: str,
+        style: GenerationStyle = GenerationStyle.HIERARCHICAL,
+        build_flat: bool = False,
+        observable: bool = True,
+        jobs: int = 1,
+    ) -> Dict[str, object]:
+        """Compile one source on the process pool; return its artifact record.
+
+        The daemon's parallel compile tier: ``K`` request threads each park
+        here while their compilation runs in a worker process, so ``K``
+        compilations proceed on ``K`` cores instead of serializing on the
+        GIL.  ``jobs`` sizes (and can grow) the shared pool.
+        """
+        with self._borrow_process_pool(max(jobs, 1)) as pool:
+            record = pool.submit(
+                _process_worker_record,
+                (source, style.value, bool(build_flat), bool(observable)),
+            ).result()
+        with self._lock:
+            self._requests += 1
+            self._process_records += 1
+        return record
+
+    @contextlib.contextmanager
+    def _borrow_process_pool(self, jobs: int):
+        """Check the shared worker-process pool out for one batch/submit.
+
+        The pool is created lazily and *grown* -- drained and rebuilt with
+        more workers -- only while nobody else has it checked out: replacing
+        a pool another thread is about to submit to would make that submit
+        raise ``cannot schedule new futures after shutdown``.  A concurrent
+        borrower asking for more workers while the pool is busy simply uses
+        the existing (smaller) pool; the growth happens on the next idle
+        borrow.  Shrinking is never done implicitly -- idle workers cost
+        little and keep their warm caches.
+        """
+        with self._lock:
+            if (
+                self._process_pool is not None
+                and self._process_jobs < jobs
+                and self._process_borrows == 0
+            ):
+                self._process_pool.shutdown(wait=True)
+                self._process_pool = None
+            if self._process_pool is None:
+                self._process_pool = ProcessPoolExecutor(max_workers=jobs)
+                self._process_jobs = jobs
+            pool = self._process_pool
+            self._process_borrows += 1
+        try:
+            yield pool
+        finally:
+            with self._lock:
+                self._process_borrows -= 1
+
+    def close(self) -> None:
+        """Shut down the worker-process pool (if one was ever started).
+
+        Safe to call any time and more than once; the next process-mode
+        compile simply builds a fresh pool.  Do not call it concurrently
+        with an in-flight process batch (the daemon tears its request
+        threads down first).  Thread workers and the pool shards need no
+        teardown.
+        """
+        with self._lock:
+            pool, self._process_pool, self._process_jobs = self._process_pool, None, 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "CompilationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _checkout_worker_manager(self) -> BDDManager:
         try:
@@ -394,19 +747,23 @@ class CompilationService:
         for scope_key in stale:
             self._scopes.pop(scope_key).encoding_cache.clear()
 
-    def _maybe_recycle_pooled(self) -> None:
-        """Replace the pooled manager with a fresh one when over budget."""
-        if not self._over_watermark(self.manager):
+    def _maybe_recycle_shard(self, shard: _PoolShard) -> None:
+        """Replace a shard's manager with a fresh one when over budget.
+
+        Lock order is shard lock, then the service lock -- the same order
+        the compile path uses (`slot.lock` around the pipeline, `_scope_for`
+        inside), so a recycle can never deadlock against a compilation.
+        """
+        if not self._over_watermark(shard.manager):
             return
-        with self._lock:
-            old = self.manager
+        with shard.lock:
+            old = shard.manager
             if not self._over_watermark(old):  # re-check under the lock
                 return
-            self.manager = BDDManager(
-                max_nodes=old.max_nodes, use_computed_cache=old.use_computed_cache
-            )
-            self._drop_manager_scopes_locked(id(old))
-            self._pool_recycles += 1
+            shard.manager = old.fresh_like()
+            with self._lock:
+                self._drop_manager_scopes_locked(id(old))
+                shard.recycles += 1
 
     def _return_worker_manager(self, manager: BDDManager) -> None:
         """Requeue an idle worker manager, or retire it when over budget."""
@@ -435,28 +792,62 @@ class CompilationService:
     def cache_size(self) -> int:
         return len(self._results)
 
-    def statistics(self) -> Dict[str, int]:
-        """Counters for monitoring: cache behaviour and pool sizes."""
+    def shard_statistics(self) -> List[Dict[str, int]]:
+        """Per-shard pool counters (``statistics()["shard_stats"]``)."""
+        with self._lock:
+            shard_scopes = {id(shard.manager): 0 for shard in self._pool_shards}
+            for manager_id, _ in self._scopes:
+                if manager_id in shard_scopes:
+                    shard_scopes[manager_id] += 1
+            stats = []
+            for shard in self._pool_shards:
+                manager_stats = shard.manager.statistics()
+                stats.append(
+                    {
+                        "index": shard.index,
+                        "bdd_nodes": manager_stats["nodes"],
+                        "bdd_vars": manager_stats["vars"],
+                        "ite_cache_entries": manager_stats["ite_cache_entries"],
+                        "recycles": shard.recycles,
+                        "scopes": shard_scopes[id(shard.manager)],
+                    }
+                )
+            return stats
+
+    def statistics(self) -> Dict[str, object]:
+        """Counters for monitoring: cache behaviour and pool sizes.
+
+        ``pooled_bdd_nodes``/``pooled_bdd_vars``/``pooled_ite_cache_entries``
+        sum over all shards and ``pool_recycles`` is the sum of the
+        per-shard recycle counters, so the headline numbers mean the same
+        thing at any shard count; ``shard_stats`` breaks them down.
+        """
+        shard_stats = self.shard_statistics()
         with self._lock:
             worker_nodes = sum(m.num_nodes for m in self._worker_managers)
             worker_count = len(self._worker_managers)
             requests = self._requests
-            pool_recycles = self._pool_recycles
             worker_recycles = self._worker_recycles
+            process_records = self._process_records
+            process_workers = self._process_jobs
         stats = {
             "requests": requests,
             "cache_entries": len(self._results),
             "cache_max_entries": self._results.max_entries,
             "scopes": len(self._scopes),
             "source_fast_path_hits": self._source_fingerprints.stats.hits,
-            "pooled_bdd_nodes": self.manager.num_nodes,
-            "pooled_bdd_vars": self.manager.num_vars,
-            "pooled_ite_cache_entries": self.manager.statistics()["ite_cache_entries"],
+            "shards": len(self._pool_shards),
+            "shard_stats": shard_stats,
+            "pooled_bdd_nodes": sum(s["bdd_nodes"] for s in shard_stats),
+            "pooled_bdd_vars": sum(s["bdd_vars"] for s in shard_stats),
+            "pooled_ite_cache_entries": sum(s["ite_cache_entries"] for s in shard_stats),
             "worker_managers": worker_count,
             "worker_bdd_nodes": worker_nodes,
             "max_pool_nodes": self.max_pool_nodes or 0,
-            "pool_recycles": pool_recycles,
+            "pool_recycles": sum(s["recycles"] for s in shard_stats),
             "worker_recycles": worker_recycles,
+            "process_pool_workers": process_workers,
+            "process_records": process_records,
         }
         stats.update(
             {f"cache_{name}": value for name, value in self._results.stats.as_dict().items()}

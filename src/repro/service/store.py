@@ -30,6 +30,7 @@ or the new record, never a partial one.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -172,6 +173,8 @@ class CompileStore:
         self.writes = 0
         #: entries dropped because they were corrupt or from another format
         self.invalid = 0
+        #: entries evicted by :meth:`prune` (oldest-recency first)
+        self.pruned = 0
         #: (monotonic timestamp, entries, disk_bytes) of the last directory scan
         self._scan_cache: Optional[Tuple[float, int, int]] = None
 
@@ -232,7 +235,23 @@ class CompileStore:
             return None
         with self._lock:
             self.hits += 1
+        # Refresh the entry's recency so :meth:`prune` evicts in true
+        # least-recently-used order, not write order.  Best-effort: a
+        # read-only directory degrades pruning to write order, nothing else.
+        with contextlib.suppress(OSError):
+            os.utime(entry_path, None)
         return record
+
+    def touch(self, key: StoreKey) -> None:
+        """Refresh a key's recency without reading its record (best-effort).
+
+        The daemon calls this on *memory-tier* hits: a hot record served
+        from memory for hours never reaches :meth:`get`, and without the
+        touch its disk mtime would go stale and :meth:`prune` would evict
+        the hottest entries first -- the opposite of LRU.
+        """
+        with contextlib.suppress(OSError):
+            os.utime(self._entry_path(key), None)
 
     def put(self, key: StoreKey, record: Dict[str, object]) -> None:
         """Atomically write ``record`` under ``key`` (last writer wins)."""
@@ -266,6 +285,70 @@ class CompileStore:
                 pass
         with self._lock:
             self._scan_cache = None
+
+    # -- pruning -------------------------------------------------------------
+    def prune(self, max_bytes: int) -> Dict[str, int]:
+        """Evict entries, least recently used first, down to ``max_bytes``.
+
+        Recency is the file mtime: :meth:`put` stamps it, :meth:`get`
+        refreshes it on every hit, and upper cache tiers :meth:`touch`
+        entries they answer from memory, so eviction is LRU over real
+        traffic (not write order).
+        The quarantine path is unaffected -- a corrupt entry that
+        :meth:`get` has not met yet is ordinary prunable bytes (it counts
+        toward the budget and is evicted in mtime order like any other
+        file), while one already quarantined is gone before prune looks.
+        In-flight ``.tmp-*`` writer files are never touched.
+
+        Returns ``{"removed", "removed_bytes", "remaining_entries",
+        "remaining_bytes"}``.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        entries = []
+        total_bytes = 0
+        for entry in self._entries():
+            try:
+                entry_stat = entry.stat()
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+            entries.append((entry_stat.st_mtime, entry_stat.st_size, entry))
+            total_bytes += entry_stat.st_size
+        removed = 0
+        removed_bytes = 0
+        for _, size, entry in sorted(entries, key=lambda item: (item[0], item[2].name)):
+            if total_bytes <= max_bytes:
+                break
+            try:
+                entry.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+            total_bytes -= size
+            removed += 1
+            removed_bytes += size
+        with self._lock:
+            self.pruned += removed
+            self._scan_cache = None
+        return {
+            "removed": removed,
+            "removed_bytes": removed_bytes,
+            "remaining_entries": len(entries) - removed,
+            "remaining_bytes": total_bytes,
+        }
+
+    def enforce_budget(self, max_bytes: int) -> Optional[Dict[str, int]]:
+        """Prune only when a size scan says the budget is exceeded.
+
+        The per-write policy hook of the daemon's ``--store-max-bytes``: a
+        write invalidates the scan TTL cache, so enforcement after a spill
+        performs one directory scan (O(entries) ``stat`` calls) and prunes
+        only on a genuine overshoot.  Returns the prune report, or ``None``
+        when the store was already within budget.
+        """
+        _, disk_bytes = self._scan()
+        if disk_bytes <= max_bytes:
+            return None
+        return self.prune(max_bytes)
 
     #: how long a directory scan stays fresh for :meth:`statistics`
     SCAN_TTL_SECONDS = 1.0
@@ -306,4 +389,5 @@ class CompileStore:
                 "misses": self.misses,
                 "writes": self.writes,
                 "invalid": self.invalid,
+                "pruned": self.pruned,
             }

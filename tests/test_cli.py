@@ -112,6 +112,78 @@ class TestBatch:
         assert main(["batch", counter_file, str(path), "--jobs", "2"]) == 1
         assert "broken.sig" in capsys.readouterr().err
 
+    def test_batch_process_workers(self, counter_file, alarm_file, capsys):
+        assert main([
+            "batch", counter_file, alarm_file,
+            "--jobs", "2", "--workers", "processes",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "compiled 2 program(s)" in output
+        assert "process worker(s)" in output
+        assert "process COUNT" in output
+        assert "process ALARM" in output
+
+    def test_batch_process_workers_name_the_failing_file(
+        self, counter_file, tmp_path, capsys
+    ):
+        path = tmp_path / "broken.sig"
+        path.write_text(
+            "process P = ( ? integer A; ! integer X, Y; ) (| X := Y + A | Y := X + A |) end;"
+        )
+        assert main([
+            "batch", counter_file, str(path), "--jobs", "2", "--workers", "processes",
+        ]) == 1
+        assert "broken.sig" in capsys.readouterr().err
+
+    def test_batch_sharded_pool(self, counter_file, alarm_file, capsys):
+        assert main([
+            "batch", counter_file, alarm_file, "--shards", "4", "--cache-stats",
+        ]) == 0
+        output = capsys.readouterr().out
+        stats = json.loads(output[output.index("{"):])
+        assert stats["shards"] == 4
+        assert len(stats["shard_stats"]) == 4
+        # Both programs really compiled somewhere in the sharded pool.
+        assert stats["pooled_bdd_nodes"] == sum(
+            shard["bdd_nodes"] for shard in stats["shard_stats"]
+        )
+        assert stats["pooled_bdd_nodes"] > 0
+
+    def test_batch_rejects_unknown_worker_backend(self, counter_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", counter_file, "--workers", "fibers"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestServeArguments:
+    def test_serve_parser_accepts_the_scaling_flags(self):
+        from repro.cli import build_serve_argument_parser
+
+        arguments = build_serve_argument_parser().parse_args([
+            "--shards", "4", "--jobs", "2", "--workers", "processes",
+            "--log-requests", "requests.log",
+            "--store", "cache-dir", "--store-max-bytes", "1000000",
+        ])
+        assert arguments.shards == 4
+        assert arguments.jobs == 2
+        assert arguments.workers == "processes"
+        assert arguments.log_requests == "requests.log"
+        assert arguments.store_max_bytes == 1000000
+
+    def test_log_requests_without_path_means_stdout(self):
+        from repro.cli import build_serve_argument_parser
+
+        arguments = build_serve_argument_parser().parse_args(["--log-requests"])
+        assert arguments.log_requests == "-"
+        assert build_serve_argument_parser().parse_args([]).log_requests is None
+
+    def test_store_max_bytes_requires_store(self, capsys):
+        from repro.cli import run_serve
+
+        assert run_serve(["--store-max-bytes", "1000"]) == 2
+        assert "--store" in capsys.readouterr().err
+
 
 class TestSimulationAndErrors:
     def test_simulate_prints_timing_diagram(self, alarm_file, capsys):

@@ -6,15 +6,22 @@ thread (:class:`ThreadedDaemon`) and talk to it through
 :class:`RemoteCompiler` or a raw socket.
 """
 
+import io
 import json
+import os
+import signal
 import socket
+import subprocess
+import sys
 import threading
+import time
 
 import pytest
 
 from repro import GenerationStyle, compile_source
 from repro.service import (
     CompilationDaemon,
+    CompilationService,
     CompileStore,
     RemoteCompiler,
     RemoteError,
@@ -313,3 +320,333 @@ class TestServer:
             with RemoteCompiler(*daemon.address) as client:
                 result = client.compile(COUNTER_SOURCE, simulate=6, seed=2)
         assert result.simulation["diagram"] == timing_diagram(trace.observations())
+
+
+class TestParallelDaemon:
+    """The daemon with several request workers, threads and processes."""
+
+    def test_thread_workers_over_a_sharded_pool(self):
+        """jobs=3 request threads compiling distinct programs concurrently
+        on a shards=4 service: every answer matches a local compile."""
+        sources = [COUNTER_SOURCE, WATCHDOG_SOURCE, ALARM_SOURCE]
+        with ThreadedDaemon(shards=4, jobs=3) as daemon:
+            errors = []
+            answers = {}
+
+            def hammer(source):
+                try:
+                    with RemoteCompiler(*daemon.address) as client:
+                        answers[source] = client.compile(source, emit=["python"])
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+
+            threads = [threading.Thread(target=hammer, args=(s,)) for s in sources]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            for source in sources:
+                local = compile_source(source)
+                assert answers[source].artifacts["python"] == local.python_source()
+            with RemoteCompiler(*daemon.address) as client:
+                stats = client.stats()
+                assert stats["daemon"]["jobs"] == 3
+                assert stats["daemon"]["compiles"] == len(sources)
+                assert stats["service"]["shards"] == 4
+
+    def test_process_workers_compile_and_cache(self):
+        """workers="processes": misses compile in worker processes, repeats
+        hit the daemon's memory tier, artifacts match a local compile."""
+        with ThreadedDaemon(workers="processes", jobs=2) as daemon:
+            with RemoteCompiler(*daemon.address) as client:
+                first = client.compile(COUNTER_SOURCE, emit=["python", "c"])
+                second = client.compile(COUNTER_SOURCE)
+                assert (first.origin, second.origin) == ("compiled", "memory")
+                local = compile_source(COUNTER_SOURCE)
+                assert first.artifacts["python"] == local.python_source()
+                assert first.artifacts["c"] == local.c_source()
+                stats = client.stats()["daemon"]
+                assert stats["workers"] == "processes"
+        # The daemon shut its worker-process pool down on exit.
+        assert daemon.daemon.service._process_pool is None
+
+    def test_process_worker_errors_reach_the_client(self):
+        with ThreadedDaemon(workers="processes", jobs=2) as daemon:
+            with RemoteCompiler(*daemon.address) as client:
+                with pytest.raises(RemoteError) as excinfo:
+                    client.compile(
+                        "process BAD = ( ? integer A; ! integer X, Y; )"
+                        " (| X := Y + A | Y := X + A |) end;"
+                    )
+                assert excinfo.value.code == "causality-error"
+                # The daemon and its process pool survive the failure.
+                assert client.compile(COUNTER_SOURCE).name == "COUNT"
+
+    def test_process_workers_simulate_from_records(self):
+        """Simulation runs on an executable rebuilt from the worker's record."""
+        from repro.runtime import ReactiveExecutor, random_oracle, timing_diagram
+
+        local = compile_source(COUNTER_SOURCE)
+        trace = ReactiveExecutor(local.executable).run(
+            5, random_oracle(local.types, seed=9)
+        )
+        with ThreadedDaemon(workers="processes", jobs=2) as daemon:
+            with RemoteCompiler(*daemon.address) as client:
+                result = client.compile(COUNTER_SOURCE, simulate=5, seed=9)
+        assert result.simulation["diagram"] == timing_diagram(trace.observations())
+
+
+class _SlowService(CompilationService):
+    """A service whose compiles block until released (drain testing)."""
+
+    def __init__(self, delay=0.3):
+        super().__init__()
+        self.delay = delay
+
+    def compile_process(self, *args, **kwargs):
+        time.sleep(self.delay)
+        return super().compile_process(*args, **kwargs)
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_inflight_compiles_before_exit(self):
+        """request_shutdown(drain=True) mid-compile: the client still gets
+        its full response, then the server exits."""
+        daemon = ThreadedDaemon(daemon=CompilationDaemon(service=_SlowService()))
+        daemon.start()
+        try:
+            host, port = daemon.address
+            responses = []
+
+            def compile_slowly():
+                with RemoteCompiler(host, port) as client:
+                    responses.append(client.compile(COUNTER_SOURCE, emit=["python"]))
+
+            worker = threading.Thread(target=compile_slowly)
+            worker.start()
+            time.sleep(0.1)  # let the request reach the compile worker
+            daemon.daemon.request_shutdown(drain=True)
+            worker.join(10)
+            assert not worker.is_alive()
+            assert len(responses) == 1
+            assert responses[0].artifacts["python"] == compile_source(
+                COUNTER_SOURCE
+            ).python_source()
+        finally:
+            daemon.stop()
+
+    def test_shutdown_op_with_drain_answers_inflight_requests(self):
+        """A client-requested drain shutdown behaves like SIGTERM."""
+        daemon = ThreadedDaemon(daemon=CompilationDaemon(service=_SlowService()))
+        daemon.start()
+        try:
+            host, port = daemon.address
+            responses = []
+
+            def compile_slowly():
+                with RemoteCompiler(host, port) as client:
+                    responses.append(client.compile(COUNTER_SOURCE))
+
+            worker = threading.Thread(target=compile_slowly)
+            worker.start()
+            time.sleep(0.1)
+            with RemoteCompiler(host, port) as control:
+                control.shutdown(drain=True)
+            worker.join(10)
+            assert not worker.is_alive()
+            assert len(responses) == 1 and responses[0].name == "COUNT"
+        finally:
+            daemon.stop()
+
+    def test_drain_refuses_new_work_on_open_connections(self):
+        """Once draining, an established connection cannot submit new work
+        (its next request sees the connection close), while the in-flight
+        compile still completes and answers."""
+        daemon = ThreadedDaemon(daemon=CompilationDaemon(service=_SlowService(0.6)))
+        daemon.start()
+        try:
+            host, port = daemon.address
+            idle_client = RemoteCompiler(host, port)  # connected before drain
+            responses = []
+
+            def compile_slowly():
+                with RemoteCompiler(host, port) as client:
+                    responses.append(client.compile(COUNTER_SOURCE))
+
+            worker = threading.Thread(target=compile_slowly)
+            worker.start()
+            time.sleep(0.15)  # the slow compile is now in flight
+            daemon.daemon.request_shutdown(drain=True)
+            time.sleep(0.05)
+            with pytest.raises(RemoteError):
+                idle_client.compile(WATCHDOG_SOURCE)  # refused, not compiled
+            idle_client.close()
+            worker.join(10)
+            assert not worker.is_alive()
+            assert len(responses) == 1 and responses[0].name == "COUNT"
+        finally:
+            daemon.stop()
+
+    def test_sigterm_drains_a_real_serve_process(self, tmp_path):
+        """`python -m repro serve` + SIGTERM: clean exit, socket removed."""
+        socket_path = str(tmp_path / "daemon.sock")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", socket_path],
+            env={
+                **os.environ,
+                "PYTHONPATH": os.pathsep.join(
+                    filter(None, ["src", os.environ.get("PYTHONPATH")])
+                ),
+            },
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline and not os.path.exists(socket_path):
+                time.sleep(0.05)
+            assert os.path.exists(socket_path), "daemon never bound its socket"
+            with RemoteCompiler(socket_path=socket_path) as client:
+                assert client.compile(COUNTER_SOURCE).name == "COUNT"
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=20) == 0
+            assert not os.path.exists(socket_path)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup on failure
+                process.kill()
+                process.wait()
+
+
+class TestRequestLog:
+    def test_log_lines_cover_every_request(self):
+        log = io.StringIO()
+        daemon = CompilationDaemon(request_log=log)
+        daemon.handle_request({"op": "compile", "source": COUNTER_SOURCE})
+        daemon.handle_request({"op": "compile", "source": COUNTER_SOURCE})
+        daemon.handle_request({"op": "ping"})
+        daemon.handle_request({"op": "compile", "source": "broken"})
+        daemon.handle_line(b"not json\n")
+        entries = [json.loads(line) for line in log.getvalue().splitlines()]
+        assert [e["op"] for e in entries] == [
+            "compile", "compile", "ping", "compile", None,
+        ]
+        assert [e["ok"] for e in entries] == [True, True, True, False, False]
+        assert entries[0]["origin"] == "compiled"
+        assert entries[1]["origin"] == "memory"
+        assert entries[3]["code"] == "parse-error"
+        assert entries[4]["code"] == "invalid-json"
+        assert all(e["elapsed_ms"] >= 0 for e in entries)
+
+    def test_log_file_is_created_and_closed_by_the_server(self, tmp_path):
+        log_path = tmp_path / "requests.log"
+        with ThreadedDaemon(request_log=str(log_path)) as daemon:
+            with RemoteCompiler(*daemon.address) as client:
+                client.compile(COUNTER_SOURCE)
+                client.ping()
+        entries = [
+            json.loads(line) for line in log_path.read_text().splitlines()
+        ]
+        assert [e["op"] for e in entries] == ["compile", "ping"]
+        # The daemon closed its own file handle on shutdown.
+        assert daemon.daemon._request_log is None
+
+    def test_no_log_by_default(self):
+        daemon = CompilationDaemon()
+        daemon.handle_request({"op": "ping"})
+        assert daemon._log_stream() is None
+
+
+class TestStorePruning:
+    def _fill(self, client, sources):
+        for source in sources:
+            client.compile(source)
+
+    def test_prune_op_shrinks_the_store(self, tmp_path):
+        with ThreadedDaemon(store=str(tmp_path)) as daemon:
+            with RemoteCompiler(*daemon.address) as client:
+                self._fill(client, [COUNTER_SOURCE, WATCHDOG_SOURCE, ALARM_SOURCE])
+                before = client.stats()["store"]["entries"]
+                assert before == 3
+                report = client.prune(max_bytes=0)
+                assert report["removed"] == 3
+                assert report["remaining_entries"] == 0
+                assert client.stats()["store"]["entries"] == 0
+
+    def test_prune_without_store_is_invalid_request(self):
+        response = CompilationDaemon().handle_request({"op": "prune", "max_bytes": 10})
+        assert not response["ok"]
+        assert response["error"]["code"] == "invalid-request"
+
+    def test_prune_without_budget_or_policy_is_invalid_request(self, tmp_path):
+        daemon = CompilationDaemon(store=CompileStore(tmp_path))
+        response = daemon.handle_request({"op": "prune"})
+        assert not response["ok"]
+        assert response["error"]["code"] == "invalid-request"
+
+    def test_prune_defaults_to_the_configured_policy(self, tmp_path):
+        daemon = CompilationDaemon(store=CompileStore(tmp_path), store_max_bytes=0)
+        daemon.compile_record(COUNTER_SOURCE)
+        # The policy already pruned on spill; an explicit no-budget prune
+        # then uses the same configured budget.
+        response = daemon.handle_request({"op": "prune"})
+        assert response["ok"]
+        assert response["remaining_bytes"] == 0
+
+    def test_store_max_bytes_policy_bounds_the_store(self, tmp_path):
+        """Under a tight byte budget the store never retains more than the
+        budget after a spill (give or take the entry being written)."""
+        store = CompileStore(tmp_path)
+        probe = CompilationDaemon(store=store)
+        probe.compile_record(COUNTER_SOURCE)
+        entry_bytes = store.statistics()["disk_bytes"]
+        store.clear()
+
+        budget = entry_bytes + entry_bytes // 2  # room for one entry, not two
+        daemon = CompilationDaemon(store=store, store_max_bytes=budget)
+        for source in [COUNTER_SOURCE, WATCHDOG_SOURCE, ALARM_SOURCE]:
+            daemon.compile_record(source)
+        assert store.statistics()["disk_bytes"] <= budget
+        assert daemon.statistics()["daemon"]["store_pruned_entries"] >= 2
+
+    def test_memory_tier_hits_keep_store_entries_prune_safe(self, tmp_path):
+        """A record served from memory must stay recent on disk: prune()
+        evicts by mtime, and hot records never reach store.get()."""
+        from repro.lang.kernel import normalize
+        from repro.lang.parser import parse_process
+        from repro.service.store import store_key
+
+        def key_of(source):
+            return store_key(
+                normalize(parse_process(source)).fingerprint(),
+                GenerationStyle.HIERARCHICAL, False, True,
+            )
+
+        store = CompileStore(tmp_path)
+        daemon = CompilationDaemon(store=store)
+        daemon.compile_record(COUNTER_SOURCE)
+        daemon.compile_record(WATCHDOG_SOURCE)
+        # Age both entries deterministically, then hit COUNTER from the
+        # memory tier: the hit must refresh its disk recency.
+        for index, source in enumerate([COUNTER_SOURCE, WATCHDOG_SOURCE]):
+            os.utime(store._entry_path(key_of(source)), (1000 + index, 1000 + index))
+        _, origin = daemon.compile_record(COUNTER_SOURCE)
+        assert origin == "memory"
+        survivor_bytes = store._entry_path(key_of(COUNTER_SOURCE)).stat().st_size
+        store.prune(survivor_bytes)
+        assert store.get(key_of(COUNTER_SOURCE)) is not None
+        assert store.get(key_of(WATCHDOG_SOURCE)) is None  # cold: evicted
+
+    def test_pruned_entry_recompiles_cleanly(self, tmp_path):
+        with ThreadedDaemon(store=str(tmp_path)) as daemon:
+            with RemoteCompiler(*daemon.address) as client:
+                assert client.compile(COUNTER_SOURCE).origin == "compiled"
+                client.prune(max_bytes=0)
+                client.clear_cache()  # drop the memory tier too
+                result = client.compile(COUNTER_SOURCE, emit=["python"])
+                assert result.origin == "compiled"
+                assert result.artifacts["python"] == compile_source(
+                    COUNTER_SOURCE
+                ).python_source()

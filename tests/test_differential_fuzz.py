@@ -3,14 +3,26 @@
 Every test case is derived from a single integer seed: the seed drives the
 shape of a randomly generated hierarchical control program (via
 :class:`~repro.programs.ControlProgramSpec`) *and* the random input oracle.
-Each program is compiled twice -- once through a shared
-:class:`~repro.CompilationService` (pooled BDD manager) and once standalone
--- and executed for ``REACTIONS`` reactions in both generation styles; the
-observations are replayed on the reference :class:`KernelInterpreter`.  Any
-divergence is a compilation bug, and the failing seed reproduces the whole
-case.
+Each program is compiled three ways -- through a shared
+:class:`~repro.CompilationService` (pooled BDD manager), through a second
+shared service whose pool is **sharded** across several managers, and once
+standalone -- and executed for ``REACTIONS`` reactions in both generation
+styles; the observations are replayed on the reference
+:class:`KernelInterpreter`.  A separate pass pushes the whole corpus
+through ``compile_batch(workers="processes")`` and proves the worker
+processes' artifact records rebuild executables with identical behaviour.
+Any divergence is a compilation bug, and the failing seed reproduces the
+whole case.
+
+Environment knobs (used by the CI parallel matrix entry):
+
+* ``REPRO_FUZZ_SHARDS`` -- shard count of the sharded service (default 2,
+  CI also runs 4);
+* ``REPRO_FUZZ_PROCESS_JOBS`` -- worker processes for the batch pass
+  (default 2, CI also runs 4).
 """
 
+import os
 import random
 
 import pytest
@@ -18,10 +30,13 @@ import pytest
 from repro import CompilationService, compile_source
 from repro.programs import ControlProgramSpec, generate_control_program
 from repro.runtime import ReactiveExecutor, random_oracle
+from repro.service import executable_from_record, types_from_record
 
 MASTER_SEED = 19950621  # PLDI'95
 NUM_PROGRAMS = 52
 REACTIONS = 32
+FUZZ_SHARDS = int(os.environ.get("REPRO_FUZZ_SHARDS", "2"))
+PROCESS_JOBS = int(os.environ.get("REPRO_FUZZ_PROCESS_JOBS", "2"))
 
 #: One shared service for the whole module: all fuzz programs compile onto a
 #: single pooled BDD manager, which is exactly the collision surface the
@@ -31,6 +46,14 @@ REACTIONS = 32
 #: also proves that pool hygiene never changes compiled behaviour.
 _SHARED_SERVICE = CompilationService(
     max_entries=NUM_PROGRAMS * 2, max_pool_nodes=4000
+)
+
+#: A second shared service with a sharded pool (shards > 1 always): programs
+#: spread across several managers by fingerprint hash, and the same
+#: watermark now recycles *per shard*.  Fuzzing through it proves the shard
+#: map changes where BDDs live, never what the compiler produces.
+_SHARDED_SERVICE = CompilationService(
+    max_entries=NUM_PROGRAMS * 2, max_pool_nodes=4000, shards=max(FUZZ_SHARDS, 2)
 )
 
 
@@ -47,15 +70,15 @@ def spec_for_seed(seed):
     )
 
 
-def oracle_for_seed(result, seed):
+def oracle_for_seed(types, seed):
     """The input oracle of one run, derived from the case seed."""
-    return random_oracle(result.types, seed=random.Random(f"{MASTER_SEED}:{seed}:inputs"))
+    return random_oracle(types, seed=random.Random(f"{MASTER_SEED}:{seed}:inputs"))
 
 
 def run_executable(result, executable, seed):
     executable.reset()
     executor = ReactiveExecutor(executable)
-    return executor.run(REACTIONS, oracle_for_seed(result, seed))
+    return executor.run(REACTIONS, oracle_for_seed(result.types, seed))
 
 
 def assert_matches_interpreter(result, trace, seed, label):
@@ -83,6 +106,7 @@ def test_differential_fuzz(seed):
     source = generate_control_program(spec_for_seed(seed))
 
     pooled = _SHARED_SERVICE.compile(source, build_flat=True)
+    sharded = _SHARDED_SERVICE.compile(source, build_flat=True)
     unpooled = compile_source(source, build_flat=True)
 
     # Hierarchical style vs the reference interpreter, pooled and unpooled.
@@ -109,6 +133,16 @@ def test_differential_fuzz(seed):
         f"seed {seed}: pooled and unpooled generated Python differ"
     )
 
+    # Sharding the pool must be invisible too: same generated code, same
+    # trace, on whatever shard the fingerprint routed to.
+    assert sharded.python_source() == unpooled.python_source(), (
+        f"seed {seed}: sharded and unpooled generated Python differ"
+    )
+    sharded_nested = run_executable(sharded, sharded.executable, seed)
+    assert observations(sharded_nested) == observations(unpooled_nested), (
+        f"seed {seed}: sharded and unpooled compilations disagree"
+    )
+
 
 def test_fuzz_program_count():
     """The harness really covers the advertised number of seeded programs."""
@@ -118,6 +152,47 @@ def test_fuzz_program_count():
 def test_fuzz_specs_are_deterministic():
     assert spec_for_seed(3) == spec_for_seed(3)
     assert [spec_for_seed(s) for s in range(5)] != [spec_for_seed(s + 1) for s in range(5)]
+
+
+def test_process_parallel_batch_matches_reference():
+    """The whole corpus through worker processes: records == serial == oracle.
+
+    ``compile_batch(workers="processes")`` returns artifact records built in
+    worker processes (each with its own BDD manager and cache).  For every
+    seed, the record must carry exactly the generated Python a standalone
+    compile produces, and the executable rebuilt from the record must
+    replay cleanly on the reference interpreter -- no execution mode ships
+    unproven.
+    """
+    seeds = list(range(NUM_PROGRAMS))
+    sources = [generate_control_program(spec_for_seed(seed)) for seed in seeds]
+    with CompilationService(max_entries=NUM_PROGRAMS * 2) as service:
+        records = service.compile_batch(
+            sources, jobs=PROCESS_JOBS, workers="processes", build_flat=True
+        )
+    assert len(records) == len(seeds)
+    for seed, source, record in zip(seeds, sources, records):
+        reference = compile_source(source, build_flat=True)
+        assert record["artifacts"]["python"] == reference.python_source(), (
+            f"seed {seed}: process-parallel generated Python differs"
+        )
+        assert record["fingerprint"] == reference.program.fingerprint()
+
+        executable = executable_from_record(record)
+        executable.reset()
+        trace = ReactiveExecutor(executable).run(
+            REACTIONS, oracle_for_seed(types_from_record(record), seed)
+        )
+        assert_matches_interpreter(reference, trace, seed, "process/nested")
+
+        flat = executable_from_record(record, flat=True)
+        flat.reset()
+        flat_trace = ReactiveExecutor(flat).run(
+            REACTIONS, oracle_for_seed(types_from_record(record), seed)
+        )
+        assert observations(flat_trace) == observations(trace), (
+            f"seed {seed}: process-parallel flat and hierarchical styles diverge"
+        )
 
 
 def test_watermark_recycling_really_triggered():
@@ -137,6 +212,26 @@ def test_watermark_recycling_really_triggered():
     assert _SHARED_SERVICE.statistics()["pool_recycles"] >= 1
 
 
+def test_sharded_watermark_recycling_really_triggered():
+    """The sharded pool must also cross its per-shard watermark mid-suite.
+
+    The full corpus puts ~26k nodes against a 4000-node per-shard watermark
+    spread over a handful of shards, so at least one shard recycles; the
+    per-seed assertions above then prove per-shard recycling never changes
+    behaviour.  The counters must agree: the headline ``pool_recycles`` is
+    defined as the sum of the per-shard counters.
+    """
+    for seed in range(32):
+        _SHARDED_SERVICE.compile(
+            generate_control_program(spec_for_seed(seed)), build_flat=True
+        )
+    stats = _SHARDED_SERVICE.statistics()
+    assert stats["pool_recycles"] >= 1
+    assert stats["pool_recycles"] == sum(
+        shard["recycles"] for shard in stats["shard_stats"]
+    )
+
+
 def test_shared_service_kept_programs_isolated():
     """After the fuzz run, spot-check variable isolation on the shared pool."""
     sources = [generate_control_program(spec_for_seed(seed)) for seed in (0, 1)]
@@ -150,3 +245,20 @@ def test_shared_service_kept_programs_isolated():
         return levels
 
     assert used_levels(results[0]).isdisjoint(used_levels(results[1]))
+
+
+def test_sharded_service_routes_programs_to_their_shard():
+    """Spot-check the shard map: results live on the manager they routed to."""
+    for seed in (0, 1, 2, 3):
+        source = generate_control_program(spec_for_seed(seed))
+        result = _SHARDED_SERVICE.compile(source, build_flat=True)
+        fingerprint = result.program.fingerprint()
+        index = _SHARDED_SERVICE.shard_index(fingerprint)
+        assert 0 <= index < _SHARDED_SERVICE.shards
+        # The routed shard's *current* manager compiled this result unless
+        # that shard has recycled since (the old manager then lives on only
+        # through its cached results).
+        expected = _SHARDED_SERVICE.shard_manager(fingerprint)
+        recycled = _SHARDED_SERVICE.statistics()["shard_stats"][index]["recycles"]
+        if recycled == 0:
+            assert result.hierarchy.manager.base is expected

@@ -372,6 +372,56 @@ class TestBatchFailurePath:
         assert service.statistics()["scopes"] == 0
 
 
+class TestProcessBatch:
+    SOURCES = [COUNTER_SOURCE, WATCHDOG_SOURCE, ACCUMULATOR_SOURCE]
+
+    def test_process_batch_returns_records_in_order(self):
+        with CompilationService() as service:
+            records = service.compile_batch(self.SOURCES, jobs=2, workers="processes")
+        assert [r["name"] for r in records] == ["COUNT", "WATCHDOG", "ACCUMULATOR"]
+        for source, record in zip(self.SOURCES, records):
+            assert record["artifacts"]["python"] == compile_source(source).python_source()
+
+    def test_process_batch_error_names_the_failing_index(self):
+        from repro.errors import SignalError
+
+        broken = (
+            "process BAD = ( ? integer A; ! integer X, Y; )"
+            " (| X := Y + A | Y := X + A |) end;"
+        )
+        with CompilationService() as service:
+            with pytest.raises(SignalError) as excinfo:
+                service.compile_batch(
+                    [COUNTER_SOURCE, broken, WATCHDOG_SOURCE],
+                    jobs=2,
+                    workers="processes",
+                )
+        assert excinfo.value.batch_index == 1
+
+    def test_process_pool_grows_between_batches_and_survives_close(self):
+        with CompilationService() as service:
+            service.compile_batch(self.SOURCES[:1], jobs=1, workers="processes")
+            assert service._process_jobs == 1
+            service.compile_batch(self.SOURCES, jobs=2, workers="processes")
+            assert service._process_jobs == 2
+            service.close()  # recoverable: the next call rebuilds the pool
+            records = service.compile_batch(
+                self.SOURCES[:1], jobs=1, workers="processes"
+            )
+            assert records[0]["name"] == "COUNT"
+
+    def test_compile_batch_rejects_unknown_worker_mode(self):
+        with pytest.raises(ValueError, match="workers"):
+            CompilationService().compile_batch(self.SOURCES, workers="fibers")
+
+    def test_compile_record_matches_in_process_record(self):
+        """The inline and worker-process record paths produce equal JSON."""
+        with CompilationService() as service:
+            inline = service.compile_record(COUNTER_SOURCE)
+            remote = service.compile_record_in_process(COUNTER_SOURCE)
+        assert inline == remote
+
+
 class TestPoolHygiene:
     SOURCES = [COUNTER_SOURCE, WATCHDOG_SOURCE, ACCUMULATOR_SOURCE, ALARM_SOURCE]
 

@@ -128,6 +128,125 @@ class TestCorruptionTolerance:
         assert len(store) == 1
 
 
+class TestPruning:
+    def _populate(self, store, count=3):
+        """Distinct records with controlled, strictly increasing mtimes."""
+        import os
+
+        keys = []
+        sources = [COUNTER_SOURCE, ALARM_SOURCE,
+                   "process TRIV = ( ? integer A; ! integer X; )"
+                   " (| X := A + 1 |) end;"][:count]
+        for index, source in enumerate(sources):
+            _, record, key = make_record(source)
+            store.put(key, record)
+            # Deterministic recency regardless of filesystem timestamp
+            # granularity: entry i was last used at t=1000+i.
+            os.utime(store._entry_path(key), (1000 + index, 1000 + index))
+            keys.append(key)
+        return keys
+
+    def test_prune_to_zero_removes_everything(self, tmp_path):
+        store = CompileStore(tmp_path)
+        self._populate(store)
+        report = store.prune(0)
+        assert report["removed"] == 3
+        assert report["remaining_entries"] == 0
+        assert report["remaining_bytes"] == 0
+        assert len(store) == 0
+        assert store.statistics()["pruned"] == 3
+
+    def test_prune_evicts_least_recently_used_first(self, tmp_path):
+        store = CompileStore(tmp_path)
+        keys = self._populate(store)
+        sizes = [store._entry_path(key).stat().st_size for key in keys]
+        # Budget for exactly the two most recent entries.
+        report = store.prune(sizes[1] + sizes[2])
+        assert report["removed"] == 1
+        assert store.get(keys[0]) is None  # the oldest went first
+        assert store.get(keys[1]) is not None
+        assert store.get(keys[2]) is not None
+
+    def test_get_refreshes_recency_so_prune_is_lru_not_fifo(self, tmp_path):
+        import os
+
+        store = CompileStore(tmp_path)
+        keys = self._populate(store)
+        # Touch the oldest entry through the public API; it becomes the
+        # most recently used and must now survive a one-eviction prune.
+        assert store.get(keys[0]) is not None
+        os.utime(store._entry_path(keys[0]), (2000, 2000))  # deterministic
+        sizes = {key: store._entry_path(key).stat().st_size for key in keys}
+        report = store.prune(sizes[keys[0]] + sizes[keys[2]])
+        assert report["removed"] == 1
+        assert store.get(keys[1]) is None  # now the least recently used
+        assert store.get(keys[0]) is not None
+
+    def test_touch_refreshes_recency_without_reading(self, tmp_path):
+        """touch() is how upper cache tiers keep hot entries prune-safe."""
+        store = CompileStore(tmp_path)
+        keys = self._populate(store)
+        store.touch(keys[0])  # stamps "now", far newer than 1000..1002
+        sizes = [store._entry_path(key).stat().st_size for key in keys]
+        report = store.prune(sizes[0] + sizes[2])  # room for two entries
+        assert report["removed"] == 1
+        assert store.get(keys[0]) is not None  # touched: survived
+        assert store.get(keys[1]) is None  # now the least recently used
+        # Touching a key that has no entry is a harmless no-op.
+        store.touch(("no-such-fingerprint", "hierarchical", False, True))
+
+    def test_prune_under_budget_is_a_no_op(self, tmp_path):
+        store = CompileStore(tmp_path)
+        self._populate(store)
+        report = store.prune(10**9)
+        assert report["removed"] == 0
+        assert len(store) == 3
+
+    def test_prune_counts_corrupt_entries_as_ordinary_bytes(self, tmp_path):
+        """Quarantine interaction: a corrupt file not yet seen by get() is
+        prunable like any entry; one already quarantined is simply gone."""
+        store = CompileStore(tmp_path)
+        keys = self._populate(store)
+        corrupt_path = store._entry_path(keys[0])
+        corrupt_path.write_text("{truncated")
+        import os
+
+        os.utime(corrupt_path, (999, 999))  # oldest of all
+        report = store.prune(0)
+        assert report["removed"] == 3
+        assert store.statistics()["invalid"] == 0  # pruned, never "trusted"
+
+    def test_quarantined_entry_no_longer_counts_toward_the_budget(self, tmp_path):
+        store = CompileStore(tmp_path)
+        keys = self._populate(store, count=2)
+        store._entry_path(keys[0]).write_text("{truncated")
+        assert store.get(keys[0]) is None  # quarantined (deleted) on read
+        assert store.statistics()["invalid"] == 1
+        survivor_bytes = store._entry_path(keys[1]).stat().st_size
+        report = store.prune(survivor_bytes)
+        assert report["removed"] == 0  # the quarantined bytes are gone
+        assert store.get(keys[1]) is not None
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            CompileStore(tmp_path).prune(-1)
+
+    def test_prune_skips_inflight_temp_files(self, tmp_path):
+        store = CompileStore(tmp_path)
+        self._populate(store, count=1)
+        inflight = tmp_path / ".tmp-writer.json"
+        inflight.write_text("partial")
+        store.prune(0)
+        assert inflight.exists()  # a concurrent writer's file is untouched
+
+    def test_enforce_budget_prunes_only_on_overshoot(self, tmp_path):
+        store = CompileStore(tmp_path)
+        self._populate(store)
+        assert store.enforce_budget(10**9) is None
+        report = store.enforce_budget(0)
+        assert report is not None and report["removed"] == 3
+
+
 class TestRehydration:
     def test_rehydrated_executable_matches_fresh_compile(self, tmp_path):
         result, record, key = make_record(ALARM_SOURCE)

@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Columnar C population stepping vs naive per-instance Python stepping.
+
+The mass-simulation runtime exists so that stepping N instances of a
+compiled process costs one ``<name>_step_many`` call per reaction instead
+of N interpreted Python steps.  This benchmark compiles a hierarchical
+control program (modes, counters, filters and the floored-arithmetic
+block), drives ``--instances`` independent instances for ``--ticks``
+reactions through both backends on identical pre-drawn input schedules,
+verifies the two traces are observationally identical, and fails (exit
+code 1) when the columnar C throughput advantage drops below
+``--min-speedup`` (default 10x instance-steps/second).
+
+Without a C toolchain the measurement is impossible, so the gate
+**skips gracefully**: it prints why and exits 0 without measuring.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mass_sim.py             # gate at 10x
+    PYTHONPATH=src python benchmarks/bench_mass_sim.py --json
+    PYTHONPATH=src python benchmarks/bench_mass_sim.py --quick     # smoke sizes
+    PYTHONPATH=src python benchmarks/bench_mass_sim.py --no-check  # report only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import compile_source
+from repro.programs import ControlProgramSpec, generate_control_program
+from repro.runtime import SharedCProgram, find_c_compiler, random_input_schedule
+
+#: modes + counters + filters + floored arithmetic: every operator class the
+#: C backend lowers, so parity here is a semantic statement, not a smoke test
+SPEC = ControlProgramSpec(
+    name="MASSBENCH",
+    modules=3,
+    branching=2,
+    sensors=2,
+    with_filter=True,
+    with_counter=True,
+    with_arithmetic=True,
+)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--instances",
+        type=int,
+        default=256,
+        help="population size stepped by both backends (default 256)",
+    )
+    parser.add_argument(
+        "--ticks",
+        type=int,
+        default=200,
+        help="reactions per instance (default 200)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help=(
+            "fail when C/python instance-steps/s falls below this "
+            "(default 10; 2 with --quick, whose tiny population cannot "
+            "amortize the per-tick marshalling)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="schedule seed (default 0)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke sizes (32 instances x 40 ticks)",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="report only; never fail the speedup gate",
+    )
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    return parser.parse_args(argv)
+
+
+def run(argv=None) -> int:
+    arguments = parse_args(argv)
+    if arguments.quick:
+        arguments.instances, arguments.ticks = 32, 40
+    if arguments.min_speedup is None:
+        arguments.min_speedup = 2.0 if arguments.quick else 10.0
+    cc = find_c_compiler()
+    if cc is None:
+        print(
+            "SKIP: no C compiler installed; the columnar-C vs Python gate "
+            "needs cc/gcc/clang (or REPRO_CC) to build the shared step"
+        )
+        return 0
+
+    result = compile_source(generate_control_program(SPEC))
+    executable = result.executable
+    instances, ticks = arguments.instances, arguments.ticks
+    schedules = [
+        random_input_schedule(
+            result.types,
+            executable.inputs,
+            executable.root_flags,
+            steps=ticks,
+            seed=random.Random(f"bench:{arguments.seed}:{index}"),
+        )
+        for index in range(instances)
+    ]
+    by_tick = [
+        [schedules[index][tick] for index in range(instances)]
+        for tick in range(ticks)
+    ]
+
+    # Naive baseline: each instance is a fresh generated-Python step driven
+    # one reaction at a time -- what a population loop looks like without
+    # the mass runtime.  Its native input format is the per-tick dict, which
+    # the schedules above already are.
+    processes = [executable.fresh() for _ in range(instances)]
+    started = time.perf_counter()
+    python_trace = [
+        [process.step(dict(instant)) for process, instant in zip(processes, row)]
+        for row in by_tick
+    ]
+    python_seconds = time.perf_counter() - started
+
+    # Columnar C: one shared library, struct-of-arrays state, one
+    # ``step_many`` call per reaction.  Its native input format is the
+    # packed column, so marshalling the schedules into columns happens once
+    # up front (mirroring the dict schedules handed to the baseline) and the
+    # timed loop is array copies plus the C call; output columns are
+    # snapshotted as raw bytes per tick and decoded after the clock stops.
+    # Library build time is likewise excluded -- the gate is about
+    # steady-state stepping throughput.
+    population = SharedCProgram.from_result(result).population(instances)
+    packed = population.pack_schedule(schedules)
+    snapshots = []
+    started = time.perf_counter()
+    for roots, columns in packed:
+        population.step_packed(roots, columns)
+        snapshots.append(population.output_snapshot())
+    c_seconds = time.perf_counter() - started
+    c_trace = [population.decode_outputs(snapshot) for snapshot in snapshots]
+
+    matches = c_trace == python_trace
+    instance_steps = instances * ticks
+    python_rate = instance_steps / python_seconds if python_seconds else float("inf")
+    c_rate = instance_steps / c_seconds if c_seconds else float("inf")
+    speedup = c_rate / python_rate if python_rate else float("inf")
+
+    report = {
+        "program": SPEC.name,
+        "cc": cc,
+        "instances": instances,
+        "ticks": ticks,
+        "instance_steps": instance_steps,
+        "python_seconds": python_seconds,
+        "c_seconds": c_seconds,
+        "python_instance_steps_per_s": python_rate,
+        "c_instance_steps_per_s": c_rate,
+        "speedup": speedup,
+        "traces_match": matches,
+    }
+
+    if arguments.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{instances} instances x {ticks} ticks ({instance_steps} instance-steps): "
+            f"python {python_seconds * 1000.0:.1f} ms ({python_rate:,.0f}/s), "
+            f"columnar C {c_seconds * 1000.0:.1f} ms ({c_rate:,.0f}/s) "
+            f"-> {speedup:.1f}x"
+        )
+        print(f"traces identical across backends: {'yes' if matches else 'NO'}")
+
+    failed = False
+    if not matches:
+        print(
+            "FAIL: columnar C and per-instance Python traces diverge",
+            file=sys.stderr,
+        )
+        failed = True
+    if not arguments.no_check and speedup < arguments.min_speedup:
+        print(
+            f"FAIL: columnar C speedup {speedup:.1f}x is below the required "
+            f"{arguments.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

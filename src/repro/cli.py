@@ -11,6 +11,18 @@ requested artifact::
     python -m repro program.sig --flat ...       # flat (single-loop) style
     python -m repro program.sig --simulate 10    # run 10 reactions with random inputs
 
+``python -m repro simulate`` runs a *population* of instances of one
+compiled process -- through the mass-simulation runtime, which builds the
+reentrant C with ``cc -shared`` and steps all instances per tick inside the
+loaded library (falling back to per-instance Python stepping when no C
+toolchain is installed)::
+
+    python -m repro simulate program.sig --instances 64 --ticks 100
+    python -m repro simulate program.sig --backend c        # require the C runtime
+    python -m repro simulate program.sig --backend python   # force the fallback
+    python -m repro simulate --record artifact.json         # from a stored record
+    python -m repro simulate program.sig --json             # machine-readable summary
+
 ``python -m repro batch <files...>`` compiles many processes through one
 :class:`~repro.service.CompilationService` (shared BDD pool + compile
 cache), optionally in parallel::
@@ -40,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import time
 from typing import List, Optional
@@ -47,18 +60,27 @@ from typing import List, Optional
 from .codegen.ir import GenerationStyle
 from .compiler import compile_source
 from .errors import SignalError
-from .runtime import ReactiveExecutor, random_oracle, timing_diagram
+from .runtime import (
+    MassSimulation,
+    ReactiveExecutor,
+    random_input_schedule,
+    random_oracle,
+    timing_diagram,
+)
 from .service import CompilationDaemon, CompilationService, RemoteCompiler, RemoteError
+from .service.store import types_from_record
 
 __all__ = [
     "main",
     "run_batch",
     "run_serve",
     "run_remote_compile",
+    "run_simulate",
     "build_argument_parser",
     "build_batch_argument_parser",
     "build_serve_argument_parser",
     "build_remote_argument_parser",
+    "build_simulate_argument_parser",
 ]
 
 
@@ -88,7 +110,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument("source", help="path to a SIGNAL source file, or - for stdin")
     parser.add_argument(
         "--emit",
-        choices=["tree", "clocks", "python", "c", "stats", "kernel"],
+        choices=["tree", "clocks", "python", "c", "c_shared", "stats", "kernel"],
         default="tree",
         help="artifact to print (default: the forest of clock trees)",
     )
@@ -292,7 +314,7 @@ def build_remote_argument_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--emit",
-        choices=["tree", "clocks", "python", "c", "stats", "kernel"],
+        choices=["tree", "clocks", "python", "c", "c_shared", "stats", "kernel"],
         default="tree",
         help="artifact to print per file (default: the forest of clock trees)",
     )
@@ -317,6 +339,182 @@ def build_remote_argument_parser() -> argparse.ArgumentParser:
         help="print the daemon's cache statistics (JSON) after compiling",
     )
     return parser
+
+
+def build_simulate_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro simulate",
+        description=(
+            "Run a population of instances of one compiled process through "
+            "the mass-simulation runtime (loaded C when a compiler is "
+            "available, per-instance Python otherwise)"
+        ),
+    )
+    parser.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="path to a SIGNAL source file, or - for stdin (omit with --record)",
+    )
+    parser.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help=(
+            "simulate a persisted artifact record (JSON, as written by the "
+            "compile store or 'batch --workers processes') instead of "
+            "compiling a source file"
+        ),
+    )
+    parser.add_argument(
+        "--instances",
+        type=_positive_int,
+        default=16,
+        metavar="N",
+        help="population size (default 16)",
+    )
+    parser.add_argument(
+        "--ticks",
+        type=_positive_int,
+        default=32,
+        metavar="N",
+        help="reactions to run per instance (default 32)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "c", "python"],
+        default="auto",
+        help=(
+            "execution engine: 'c' builds the reentrant C with cc -shared "
+            "and steps the whole population in the loaded library, 'python' "
+            "steps independent generated-Python instances, 'auto' (default) "
+            "picks 'c' when a compiler is found"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the per-instance random input schedules (default 0)",
+    )
+    parser.add_argument(
+        "--flat",
+        action="store_true",
+        help="simulate the flat single-loop style instead of nested code",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary instead of text",
+    )
+    return parser
+
+
+def run_simulate(argv: List[str]) -> int:
+    """The ``simulate`` subcommand: mass-simulate one compiled process."""
+    parser = build_simulate_argument_parser()
+    arguments = parser.parse_args(argv)
+    if (arguments.source is None) == (arguments.record is None):
+        print("error: exactly one of a source file or --record is required", file=sys.stderr)
+        return 2
+    if arguments.record is not None and arguments.flat:
+        print("error: --flat cannot be combined with --record", file=sys.stderr)
+        return 2
+
+    style = GenerationStyle.FLAT if arguments.flat else GenerationStyle.HIERARCHICAL
+    try:
+        if arguments.record is not None:
+            with open(arguments.record, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            simulation = MassSimulation.from_record(
+                record, arguments.instances, backend=arguments.backend
+            )
+            entry = record["executable"]
+            name = entry["name"]
+            types = types_from_record(record)
+            inputs = list(entry["inputs"])
+            root_flags = [tuple(flag) for flag in entry["root_flags"]]
+        else:
+            source = _read_source(arguments.source)
+            result = compile_source(source, style=style, build_flat=arguments.flat)
+            simulation = MassSimulation.from_result(
+                result, arguments.instances, backend=arguments.backend, style=style
+            )
+            executable = result.executable_flat if arguments.flat else result.executable
+            name = result.name
+            types = result.types
+            inputs = list(executable.inputs)
+            root_flags = list(executable.root_flags)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except SignalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if arguments.backend == "auto" and simulation.backend == "python":
+        print(
+            "note: no C compiler found; stepping the population in Python "
+            "(set REPRO_CC or install cc to use the C runtime)",
+            file=sys.stderr,
+        )
+
+    schedules = [
+        random_input_schedule(
+            types,
+            inputs,
+            root_flags,
+            steps=arguments.ticks,
+            seed=random.Random(f"{arguments.seed}:{index}"),
+        )
+        for index in range(arguments.instances)
+    ]
+    presence = {}
+    started = time.perf_counter()
+    for tick in range(arguments.ticks):
+        record_tick = simulation.step(
+            [schedules[index][tick] for index in range(arguments.instances)]
+        )
+        for outputs in record_tick:
+            for signal in outputs:
+                presence[signal] = presence.get(signal, 0) + 1
+    elapsed = time.perf_counter() - started
+
+    instance_steps = arguments.instances * arguments.ticks
+    if arguments.json:
+        print(
+            json.dumps(
+                {
+                    "name": name,
+                    "backend": simulation.backend,
+                    "instances": arguments.instances,
+                    "ticks": arguments.ticks,
+                    "instance_steps": instance_steps,
+                    "seed": arguments.seed,
+                    "outputs": {
+                        signal: presence.get(signal, 0) for signal in sorted(presence)
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        rate = instance_steps / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"process {name}: {arguments.instances} instance(s) x "
+            f"{arguments.ticks} tick(s), backend {simulation.backend}"
+        )
+        print(
+            f"  {instance_steps} instance-steps in {elapsed * 1000.0:.1f} ms "
+            f"({rate:,.0f}/s)"
+        )
+        for signal in sorted(presence):
+            print(f"  {signal}: present {presence[signal]}/{instance_steps}")
+        if not presence:
+            print("  (no output was ever present)")
+    return 0
 
 
 def _read_source(path: str) -> str:
@@ -515,6 +713,7 @@ SUBCOMMANDS = {
     "batch": run_batch,
     "serve": run_serve,
     "remote-compile": run_remote_compile,
+    "simulate": run_simulate,
 }
 
 
@@ -549,6 +748,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result.python_source(style))
     elif arguments.emit == "c":
         print(result.c_source(style))
+    elif arguments.emit == "c_shared":
+        print(result.c_shared_source(style))
     elif arguments.emit == "stats":
         print(json.dumps(result.statistics(), indent=2, sort_keys=True))
 

@@ -21,7 +21,7 @@ from .ir import (
     build_step_ir,
 )
 from .python_backend import CompiledProcess, compile_step, generate_python_source
-from .c_backend import generate_c_source
+from .c_backend import generate_c_shared_source, generate_c_source
 
 __all__ = [
     "GenerationStyle",
@@ -31,4 +31,5 @@ __all__ = [
     "compile_step",
     "generate_python_source",
     "generate_c_source",
+    "generate_c_shared_source",
 ]

@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # imported lazily to avoid a circular module import
 from .bdd import BDDManager
 from .clocks.equations import ClockSystem, extract_clock_system
 from .clocks.resolution import ClockHierarchy, resolve
-from .codegen.c_backend import generate_c_source
+from .codegen.c_backend import generate_c_shared_source, generate_c_source
 from .codegen.ir import GenerationStyle, StepIR, build_step_ir
 from .codegen.python_backend import CompiledProcess, compile_step, generate_python_source
 from .graph.dependency import ConditionalDependencyGraph, build_dependency_graph
@@ -75,6 +75,19 @@ class CompilationResult:
     def c_source(self, style: GenerationStyle = GenerationStyle.HIERARCHICAL) -> str:
         ir = build_step_ir(self.schedule, self.types, style)
         return generate_c_source(ir)
+
+    def c_shared_source(
+        self, style: GenerationStyle = GenerationStyle.HIERARCHICAL
+    ) -> str:
+        """The reentrant columnar C variant (mass-simulation ABI).
+
+        Unlike :meth:`c_source` (static state, environment hooks), this
+        variant keeps all state in an explicit struct and exposes a
+        ``step_many`` entry point, so it can be built with ``cc -shared``
+        and driven for whole populations by :mod:`repro.runtime.mass`.
+        """
+        ir = build_step_ir(self.schedule, self.types, style)
+        return generate_c_shared_source(ir)
 
     def step_ir(self, style: GenerationStyle = GenerationStyle.HIERARCHICAL) -> StepIR:
         return build_step_ir(self.schedule, self.types, style)

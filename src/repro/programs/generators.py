@@ -54,6 +54,14 @@ class ControlProgramSpec:
     with_counter:
         Whether each module maintains a resettable counter on its sampled
         clock.
+    with_arithmetic:
+        Whether each module computes an arithmetic block on its sampled
+        clock: floored division and modulo of a sampled measurement by
+        *negative* constant and signal-derived divisors, plus an ``xor``
+        combination.  This is the corpus that distinguishes Python's
+        floored ``//``/``%`` from C's truncate-toward-zero division -- a
+        backend that lowers the operators naively diverges on the first
+        negative operand.
     """
 
     name: str
@@ -62,6 +70,7 @@ class ControlProgramSpec:
     sensors: int = 3
     with_filter: bool = True
     with_counter: bool = True
+    with_arithmetic: bool = False
 
     def parent_of(self, module: int) -> Optional[int]:
         if module == 0:
@@ -88,6 +97,8 @@ def _module_equations(spec: ControlProgramSpec, module: int) -> List[str]:
     on_signals = [f"STOP_{m}"] + [f"S_{m}_{j}" for j in range(spec.sensors)]
     if spec.with_filter:
         on_signals.append(f"V_{m}")
+    if spec.with_arithmetic:
+        on_signals.append(f"W_{m}")
     lines.append("synchro { when MODE_" + str(m) + ", " + ", ".join(on_signals) + " }")
 
     # Alarm logic over the sampled sensors.
@@ -115,6 +126,19 @@ def _module_equations(spec: ControlProgramSpec, module: int) -> List[str]:
         lines.append(f"FLT_{m} := (V_{m} + ZFLT_{m}) / 2")
         lines.append(f"ZFLT_{m} := FLT_{m} $ 1 init 0")
 
+    # Arithmetic block: floored / and modulo against negative divisors
+    # (constant and signal-derived, the divisor never reaching zero), and
+    # an xor of two sampled booleans.
+    if spec.with_arithmetic:
+        lines.append(f"QUO_{m} := (W_{m} - 7) / 3")
+        lines.append(f"REM_{m} := (W_{m} + 5) modulo (0 - 3)")
+        lines.append(
+            f"DEN_{m} := 0 - (((W_{m} modulo 5) * (W_{m} modulo 5)) + 1)"
+        )
+        lines.append(f"QD_{m} := (W_{m} - 3) / DEN_{m}")
+        lines.append(f"RD_{m} := (W_{m} + 2) modulo DEN_{m}")
+        lines.append(f"XR_{m} := (W_{m} >= 0) xor STOP_{m}")
+
     return lines
 
 
@@ -137,14 +161,23 @@ def generate_control_program(spec: ControlProgramSpec) -> str:
         input_booleans.extend(f"S_{module}_{j}" for j in range(spec.sensors))
         if spec.with_filter:
             input_integers.append(f"V_{module}")
+        if spec.with_arithmetic:
+            input_integers.append(f"W_{module}")
         output_booleans.append(f"ALR_{module}")
         if spec.with_filter:
             output_integers.append(f"FLT_{module}")
+        if spec.with_arithmetic:
+            output_booleans.append(f"XR_{module}")
+            output_integers.extend(
+                f"{prefix}_{module}" for prefix in ("QUO", "REM", "QD", "RD")
+            )
         local_booleans.extend([f"MODE_{module}", f"NMODE_{module}"])
         if spec.with_counter:
             local_integers.extend([f"CNT_{module}", f"ZCNT_{module}"])
         if spec.with_filter:
             local_integers.append(f"ZFLT_{module}")
+        if spec.with_arithmetic:
+            local_integers.append(f"DEN_{module}")
         equations.extend(_module_equations(spec, module))
 
     def declaration_block(booleans: List[str], integers: List[str]) -> List[str]:

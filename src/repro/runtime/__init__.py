@@ -6,12 +6,29 @@
   stream semantics, used as the *reference* against which generated code is
   checked;
 * :mod:`repro.runtime.executor` -- drives a compiled step function with an
-  input oracle and records execution traces.
+  input oracle and records execution traces;
+* :mod:`repro.runtime.mass` -- compiles and loads the reentrant C backend
+  output (``cc -shared`` + :mod:`ctypes`) and steps whole populations of
+  instances per tick over columnar state.
 """
 
 from .trace import ABSENT, Trace, timing_diagram
 from .interpreter import KernelInterpreter
-from .executor import ExecutionTrace, ReactiveExecutor, StepRecord, random_oracle
+from .executor import (
+    ExecutionTrace,
+    ReactiveExecutor,
+    StepRecord,
+    random_input_schedule,
+    random_oracle,
+)
+from .mass import (
+    CPopulation,
+    LoadedCProcess,
+    MassSimulation,
+    SharedCProgram,
+    TickRecord,
+    find_c_compiler,
+)
 
 __all__ = [
     "ABSENT",
@@ -22,4 +39,11 @@ __all__ = [
     "ReactiveExecutor",
     "StepRecord",
     "random_oracle",
+    "random_input_schedule",
+    "CPopulation",
+    "LoadedCProcess",
+    "MassSimulation",
+    "SharedCProgram",
+    "TickRecord",
+    "find_c_compiler",
 ]

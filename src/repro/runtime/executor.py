@@ -19,7 +19,13 @@ from ..codegen.python_backend import CompiledProcess
 from ..lang.types import SignalType
 from .trace import Trace
 
-__all__ = ["StepRecord", "ExecutionTrace", "ReactiveExecutor", "random_oracle"]
+__all__ = [
+    "StepRecord",
+    "ExecutionTrace",
+    "ReactiveExecutor",
+    "random_oracle",
+    "random_input_schedule",
+]
 
 
 @dataclass
@@ -82,6 +88,40 @@ def random_oracle(
         return round(generator.uniform(low, high), 3)
 
     return oracle
+
+
+def random_input_schedule(
+    types: Mapping[str, SignalType],
+    inputs: Sequence[str],
+    root_flags: Sequence[Sequence[object]] = (),
+    steps: int = 1,
+    seed: Union[int, random.Random] = 0,
+    integer_range: Sequence[int] = (-10, 10),
+    presence_rate: float = 0.75,
+) -> List[Dict[str, object]]:
+    """Pre-drawn *complete* input assignments, one mapping per reaction.
+
+    Unlike an oracle (queried lazily for exactly the inputs the generated
+    code decides to read), a schedule fixes every input value and every
+    free-clock presence flag up front.  That is what makes backends with
+    different consumption orders comparable: the Python step pulls values
+    on demand, the loaded C consumes whole columns positionally, and both
+    see the same assignment when driven from one schedule.  Free clocks are
+    present with probability ``presence_rate`` (absent ticks are part of
+    the semantics and must be exercised).
+    """
+    generator = seed if isinstance(seed, random.Random) else random.Random(seed)
+    oracle = random_oracle(types, generator, integer_range)
+    schedule: List[Dict[str, object]] = []
+    for _ in range(steps):
+        instant: Dict[str, object] = {}
+        for flag in root_flags:
+            _, key, _default = flag
+            instant[key] = generator.random() < presence_rate
+        for signal in inputs:
+            instant[signal] = oracle(signal)
+        schedule.append(instant)
+    return schedule
 
 
 class ReactiveExecutor:

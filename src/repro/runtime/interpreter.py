@@ -255,7 +255,15 @@ class KernelInterpreter:
             for name in group:
                 if status[name] == _UNKNOWN:
                     changed |= set_status(name, _ABSENT)
-        if status[process.target] != _ABSENT and all(operand_ready(op) for op in process.operands):
+        # Compute the value only once the target is known present.  A
+        # function whose operands are all literals (a constant subexpression
+        # like ``(0 - 3)``) is value-ready at every instant; evaluating it
+        # eagerly would force it present through ``set_value`` and violate
+        # the synchronization with its consumers on instants where its
+        # clock is absent.  For functions with signal operands the gate
+        # changes nothing: a valued operand is present, so the group
+        # propagation above has already marked the target present.
+        if status[process.target] == _PRESENT and all(operand_ready(op) for op in process.operands):
             result = self._apply(
                 process.operator,
                 [operand_value(op) for op in process.operands],

@@ -110,7 +110,7 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
 #: artifact kinds a compile request may ask for via ``emit``
-EMIT_KINDS = ("tree", "clocks", "kernel", "python", "c", "stats")
+EMIT_KINDS = ("tree", "clocks", "kernel", "python", "c", "c_shared", "stats")
 
 #: exception type -> protocol error code, most specific first
 _ERROR_CODES = (

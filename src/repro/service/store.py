@@ -57,7 +57,9 @@ __all__ = [
 ]
 
 #: version tag of the on-disk record layout; bump on incompatible changes
-STORE_FORMAT = 1
+#: (2: added the ``c_shared`` artifact -- the reentrant columnar C source
+#: that the mass-simulation runtime builds with ``cc -shared``)
+STORE_FORMAT = 2
 
 #: store key: (kernel fingerprint, style value, build_flat, observable)
 StoreKey = Tuple[str, str, bool, bool]
@@ -112,6 +114,7 @@ def record_from_result(
             "kernel": str(result.program),
             "python": result.python_source(style),
             "c": result.c_source(style),
+            "c_shared": result.c_shared_source(style),
         },
         "executable": _executable_record(result.executable),
         "executable_flat": (

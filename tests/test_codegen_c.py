@@ -5,6 +5,7 @@ import re
 import pytest
 
 from repro import GenerationStyle, compile_source
+from repro.codegen.c_backend import _c_literal
 from repro.programs import ALARM_SOURCE, COUNTER_SOURCE
 
 
@@ -75,3 +76,107 @@ class TestCSource:
     def test_style_marker_comment(self, counter_result):
         assert "/* style: hierarchical */" in counter_result.c_source()
         assert "/* style: flat */" in counter_result.c_source(GenerationStyle.FLAT)
+
+
+ARITH_SOURCE = """process ARITH =
+  ( ? integer A;
+    ! integer Q, R;
+    boolean X; )
+  (| Q := A / 3
+   | R := A modulo (0 - 3)
+   | X := (A >= 0) xor (A <= 5)
+   |)
+end;
+"""
+
+
+class TestCLiterals:
+    """Portable literal emission (satellite of the mass-simulation PR)."""
+
+    def test_boolean_literals_are_ints(self):
+        assert _c_literal(True) == "1"
+        assert _c_literal(False) == "0"
+
+    def test_small_integers_stay_plain(self):
+        # The delay registers are declared ``long``; a plain literal
+        # initializer must keep compiling (pinned by the COUNT shape test).
+        assert _c_literal(0) == "0"
+        assert _c_literal(-42) == "-42"
+
+    def test_large_integers_get_long_suffix(self):
+        """Python ints beyond int range would overflow a bare C literal."""
+        assert _c_literal(2**40) == f"{2**40}L"
+        assert _c_literal(-(2**40)) == f"-{2**40}L"
+
+    def test_nonfinite_floats_are_not_python_reprs(self):
+        """repr(inf) == 'inf' is not C; math.h spellings are."""
+        assert _c_literal(float("inf")) == "INFINITY"
+        assert _c_literal(float("-inf")) == "-INFINITY"
+        assert _c_literal(float("nan")) == "NAN"
+
+    def test_finite_floats_round_trip(self):
+        assert _c_literal(2.5) == "2.5"
+
+
+class TestCArithmeticLowering:
+    """SIGNAL's / and modulo are floored; C's are not.  Helpers bridge."""
+
+    def test_integer_division_uses_floor_helper(self):
+        source = compile_source(ARITH_SOURCE).c_source()
+        assert "static long repro_floor_div(long a, long b)" in source
+        assert "repro_floor_div(A, 3)" in source
+
+    def test_modulo_uses_floor_helper(self):
+        source = compile_source(ARITH_SOURCE).c_source()
+        assert "static long repro_floor_mod(long a, long b)" in source
+
+    def test_xor_coerces_operands_to_booleans(self):
+        """C's != on raw ints is not Python's bool(...) != bool(...)."""
+        source = compile_source(ARITH_SOURCE).c_source()
+        assert "!= 0) != (" in source
+
+    def test_helpers_not_emitted_when_unused(self, alarm_result):
+        source = alarm_result.c_source()
+        assert "repro_floor_div" not in source
+        assert "repro_floor_mod" not in source
+        assert "#include <math.h>" not in source
+
+
+class TestSharedCSource:
+    """The reentrant columnar variant behind the mass-simulation runtime."""
+
+    def test_state_lives_in_a_struct(self, counter_result):
+        source = counter_result.c_shared_source()
+        assert "typedef struct {" in source
+        assert "long z_ZN;" in source
+        assert "static long z_ZN" not in source  # no static state anywhere
+        assert "} COUNT_state;" in source
+
+    def test_entry_points(self, counter_result):
+        source = counter_result.c_shared_source()
+        assert "long COUNT_state_bytes(void)" in source
+        assert "void COUNT_init(COUNT_state *repro_states, long repro_n)" in source
+        assert "void COUNT_step_many(" in source
+
+    def test_columnar_input_output_parameters(self, counter_result):
+        source = counter_result.c_shared_source()
+        assert "const int *in_RESET" in source
+        assert "long *out_N" in source
+        assert "unsigned char *out_N_present" in source
+
+    def test_presence_bytes_cleared_every_reaction(self, counter_result):
+        source = counter_result.c_shared_source()
+        assert "out_N_present[repro_i] = 0;" in source
+
+    def test_style_marker(self, counter_result):
+        nested = counter_result.c_shared_source()
+        flat = counter_result.c_shared_source(GenerationStyle.FLAT)
+        assert "reentrant columnar step" in nested
+        assert "/* style: hierarchical;" in nested
+        assert "/* style: flat;" in flat
+
+    def test_no_environment_hooks(self, counter_result):
+        """The shared variant must not call the classic extern hooks."""
+        source = counter_result.c_shared_source()
+        assert "read_input_" not in source
+        assert "write_output_" not in source

@@ -81,3 +81,67 @@ def test_generated_c_has_no_implicit_declarations(tmp_path):
         text=True,
     )
     assert completed.returncode == 0, completed.stderr
+
+
+@pytest.mark.skipif(CC is None, reason="no C compiler installed")
+@pytest.mark.parametrize("name", sorted(SOURCES))
+@pytest.mark.parametrize("style", [GenerationStyle.HIERARCHICAL, GenerationStyle.FLAT])
+def test_shared_c_builds_as_shared_library(tmp_path, name, style):
+    """The reentrant columnar variant must link as a loadable library."""
+    result = _SERVICE.compile(SOURCES[name])
+    source = result.c_shared_source(style)
+    path = tmp_path / f"{name}_{style.value}_shared.c"
+    path.write_text(source)
+    completed = subprocess.run(
+        [
+            CC,
+            "-std=c99",
+            "-Wall",
+            "-Werror=implicit-function-declaration",
+            "-O2",
+            "-fPIC",
+            "-shared",
+            "-o",
+            str(tmp_path / f"{name}_{style.value}_shared.so"),
+            str(path),
+            "-lm",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, (
+        f"cc -shared failed for {name}:\n{completed.stdout}\n{completed.stderr}"
+    )
+
+
+@pytest.mark.skipif(CC is None, reason="no C compiler installed")
+def test_nonfinite_literals_compile(tmp_path):
+    """inf/nan initializers must be spelled in C, not Python repr."""
+    source = """process NONFIN =
+      ( ? real V;
+        ! real W; )
+      (| W := ZW + V
+       | ZW := W $ 1 init 0.5
+       |)
+      where real ZW;
+    end;
+    """
+    result = _SERVICE.compile(source)
+    c_source = result.c_source()
+    # Force the pathological initializers straight through the literal
+    # emitter: they must come out as math.h spellings that cc accepts.
+    from repro.codegen.c_backend import _c_literal
+
+    probe = "\n".join(
+        [
+            "#include <math.h>",
+            f"static double pos_inf = {_c_literal(float('inf'))};",
+            f"static double neg_inf = {_c_literal(float('-inf'))};",
+            f"static double not_a_number = {_c_literal(float('nan'))};",
+            f"static long wide = {_c_literal(2**40)};",
+            "double nonfin_probe(void) { return pos_inf + neg_inf + not_a_number + (double) wide; }",
+            "",
+        ]
+    )
+    compile_c(tmp_path, "nonfinite_probe", probe)
+    compile_c(tmp_path, "nonfin_process", c_source)

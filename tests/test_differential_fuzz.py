@@ -14,12 +14,21 @@ processes' artifact records rebuild executables with identical behaviour.
 Any divergence is a compilation bug, and the failing seed reproduces the
 whole case.
 
+A further pass (skipped cleanly when no C toolchain is installed) builds
+the reentrant C of a subset of the corpus with ``cc -shared``, loads it
+through :mod:`ctypes` and proves the *machine code* produces exactly the
+Python backend's outputs tick for tick -- including the floored
+integer-division/modulo corpus with negative operands that a naive C
+lowering gets wrong.
+
 Environment knobs (used by the CI parallel matrix entry):
 
 * ``REPRO_FUZZ_SHARDS`` -- shard count of the sharded service (default 2,
   CI also runs 4);
 * ``REPRO_FUZZ_PROCESS_JOBS`` -- worker processes for the batch pass
-  (default 2, CI also runs 4).
+  (default 2, CI also runs 4);
+* ``REPRO_FUZZ_C_STRIDE`` -- seed stride of the loaded-C pass (default 4:
+  every fourth seed; CI runs 1 = the whole corpus).
 """
 
 import os
@@ -28,8 +37,15 @@ import random
 import pytest
 
 from repro import CompilationService, compile_source
+from repro.codegen.ir import GenerationStyle
 from repro.programs import ControlProgramSpec, generate_control_program
-from repro.runtime import ReactiveExecutor, random_oracle
+from repro.runtime import (
+    ReactiveExecutor,
+    SharedCProgram,
+    find_c_compiler,
+    random_input_schedule,
+    random_oracle,
+)
 from repro.service import executable_from_record, types_from_record
 
 MASTER_SEED = 19950621  # PLDI'95
@@ -37,6 +53,8 @@ NUM_PROGRAMS = 52
 REACTIONS = 32
 FUZZ_SHARDS = int(os.environ.get("REPRO_FUZZ_SHARDS", "2"))
 PROCESS_JOBS = int(os.environ.get("REPRO_FUZZ_PROCESS_JOBS", "2"))
+C_STRIDE = int(os.environ.get("REPRO_FUZZ_C_STRIDE", "4"))
+CC = find_c_compiler()
 
 #: One shared service for the whole module: all fuzz programs compile onto a
 #: single pooled BDD manager, which is exactly the collision surface the
@@ -67,6 +85,11 @@ def spec_for_seed(seed):
         sensors=rng.randint(0, 3),
         with_filter=rng.choice([True, False]),
         with_counter=rng.choice([True, False]),
+        # Drawn last so the shapes of pre-existing seeds are unchanged --
+        # only the arithmetic block is new.  It combines / and modulo with
+        # negative dividends *and* divisors, the corpus that catches
+        # truncate-toward-zero C lowerings of SIGNAL's floored division.
+        with_arithmetic=rng.choice([True, False]),
     )
 
 
@@ -262,3 +285,136 @@ def test_sharded_service_routes_programs_to_their_shard():
         recycled = _SHARDED_SERVICE.statistics()["shard_stats"][index]["recycles"]
         if recycled == 0:
             assert result.hierarchy.manager.base is expected
+
+
+# -- loaded-C execution ------------------------------------------------------
+#
+# The C backend used to be emit-only; these tests run it.  Both backends are
+# driven from one pre-drawn input schedule (a complete assignment per tick)
+# because the loaded C consumes inputs positionally while the Python step
+# pulls them on demand -- a shared stateful oracle would desynchronize.
+
+ARITHMIX_SOURCE = """process ARITHMIX =
+  ( ? integer A, B;
+    ! integer Q1, R1, Q2, R2, Q3, R3;
+    boolean X1; )
+  (| D := (B * B) + 1
+   | ND := 0 - D
+   | Q1 := A / 3
+   | R1 := A modulo 3
+   | Q2 := A / ND
+   | R2 := A modulo ND
+   | Q3 := (A - 5) / (0 - 2)
+   | R3 := (A + 5) modulo (0 - 3)
+   | X1 := (A >= 0) xor (B >= 0)
+   |)
+  where integer D, ND;
+end;
+"""
+
+
+def schedule_for_seed(result, executable, seed, label):
+    return random_input_schedule(
+        result.types,
+        executable.inputs,
+        executable.root_flags,
+        steps=REACTIONS,
+        seed=random.Random(f"{MASTER_SEED}:{seed}:{label}"),
+    )
+
+
+def assert_replay_on_interpreter(result, trace, seed, label):
+    """Like :func:`assert_matches_interpreter` for schedule-driven traces.
+
+    Schedules draw free-clock presence, so whole reactions may be absent;
+    undetermined signals of such instants are forced absent on replay
+    (``unknown_as_absent``) instead of being rejected.
+    """
+    interpreter = result.interpreter()
+    for index, step in enumerate(trace):
+        expected = interpreter.step(
+            step.inputs,
+            present=step.observations.keys(),
+            unknown_as_absent=True,
+        )
+        assert expected == dict(step.observations), (
+            f"seed {seed} [{label}]: reaction {index}: compiled code observed "
+            f"{step.observations}, interpreter says {expected}"
+        )
+
+
+@pytest.mark.skipif(CC is None, reason="no C compiler installed")
+@pytest.mark.parametrize("seed", range(0, NUM_PROGRAMS, C_STRIDE))
+def test_differential_fuzz_loaded_c(seed):
+    """Loaded C == Python backend == reference interpreter, per tick."""
+    source = generate_control_program(spec_for_seed(seed))
+    result = _SHARED_SERVICE.compile(source, build_flat=True)
+
+    executable = result.executable.fresh()
+    schedule = schedule_for_seed(result, executable, seed, "schedule")
+    python_trace = ReactiveExecutor(executable).run(
+        REACTIONS, inputs_per_step=schedule
+    )
+    # The Python leg ties the schedule-driven run back to the reference
+    # semantics; the C legs below then only need to match the Python leg.
+    assert_replay_on_interpreter(result, python_trace, seed, "python/scheduled")
+
+    shared = SharedCProgram.from_result(result)
+    c_trace = ReactiveExecutor(shared.process()).run(
+        REACTIONS, inputs_per_step=schedule
+    )
+    assert [step.outputs for step in c_trace] == [
+        step.outputs for step in python_trace
+    ], f"seed {seed}: loaded C diverges from the Python backend"
+
+    flat = SharedCProgram.from_result(result, style=GenerationStyle.FLAT)
+    c_flat_trace = ReactiveExecutor(flat.process()).run(
+        REACTIONS, inputs_per_step=schedule
+    )
+    assert [step.outputs for step in c_flat_trace] == [
+        step.outputs for step in python_trace
+    ], f"seed {seed}: loaded flat C diverges from the Python backend"
+
+
+def test_fuzz_corpus_exercises_arithmetic():
+    """The strided loaded-C subset must include arithmetic programs."""
+    specs = [spec_for_seed(seed) for seed in range(0, NUM_PROGRAMS, C_STRIDE)]
+    assert any(spec.with_arithmetic for spec in specs)
+    assert any(not spec.with_arithmetic for spec in specs)
+
+
+@pytest.mark.skipif(CC is None, reason="no C compiler installed")
+def test_arithmix_negative_operands_loaded_c():
+    """Dense negative-operand sweep: every (A, B) pair, all three engines.
+
+    ``ARITHMIX`` divides by positive and negative constants and by a
+    signal-derived strictly-negative divisor.  A C backend emitting plain
+    ``/`` and ``%`` fails this on the first negative dividend (C truncates
+    toward zero, SIGNAL's reference semantics floor); ``X1`` pins the xor
+    lowering to Python's ``bool`` coercion.
+    """
+    result = compile_source(ARITHMIX_SOURCE, build_flat=True)
+    loaded = SharedCProgram.from_result(result).process()
+    python = result.executable.fresh()
+    interpreter = result.interpreter()
+    for a in range(-9, 10):
+        for b in range(-3, 4):
+            inputs = {"A": a, "B": b}
+            expected = {
+                "Q1": a // 3,
+                "R1": a % 3,
+                "Q2": a // -(b * b + 1),
+                "R2": a % -(b * b + 1),
+                "Q3": (a - 5) // -2,
+                "R3": (a + 5) % -3,
+                "X1": (a >= 0) != (b >= 0),
+            }
+            c_outputs = loaded.step(inputs)
+            python_outputs = python.step(inputs)
+            reference = interpreter.step(inputs)
+            reference = {
+                name: reference[name] for name in expected if name in reference
+            }
+            assert c_outputs == expected, f"A={a} B={b}: loaded C {c_outputs}"
+            assert python_outputs == expected, f"A={a} B={b}: python {python_outputs}"
+            assert reference == expected, f"A={a} B={b}: interpreter {reference}"

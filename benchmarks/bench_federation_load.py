@@ -1,0 +1,457 @@
+#!/usr/bin/env python
+"""Load-test the federated compile tier: gateway + K daemons under fire.
+
+Spawns real ``python -m repro serve`` backend processes and a real
+``python -m repro gateway`` in front of them (all over unix sockets),
+drives many concurrent clients with mixed hit/miss traffic, and reports
+p50/p99 latency and req/sec for three phases:
+
+1. **baseline** -- the same traffic against one daemon, no gateway;
+2. **federated** -- the gateway routing over ``--backends`` daemons; the
+   gate fails (exit 1) when federated throughput on this miss-heavy
+   workload is below ``--min-ratio`` (default 1.3x) of the baseline;
+3. **failover** -- traffic keeps flowing while backend 0 is SIGTERMed
+   mid-run and later restarted on the same socket; the gate fails when
+   *any* client-visible request errors (the gateway must mask the death
+   via ring failover and the shared store must re-warm the restarted
+   node).
+
+On a machine with fewer cores than one-per-backend-plus-gateway the
+throughput ratio is noise, so that gate **skips gracefully** (prints why,
+exits 0) -- the failover phase still runs and still gates, because
+masking a dead backend needs correctness, not cores.  ``--quick`` shrinks
+the workload for CI smoke runs and reports the ratio without gating it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_federation_load.py
+    PYTHONPATH=src python benchmarks/bench_federation_load.py --backends 3
+    PYTHONPATH=src python benchmarks/bench_federation_load.py --quick
+    PYTHONPATH=src python benchmarks/bench_federation_load.py --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.programs import ControlProgramSpec, generate_control_program
+from repro.service import RemoteCompiler, RemoteError
+
+SRC_DIR = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backends",
+        type=int,
+        default=2,
+        help="number of backend daemons behind the gateway (default 2)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent client threads driving traffic (default 8)",
+    )
+    parser.add_argument(
+        "--programs",
+        type=int,
+        default=40,
+        help="unique (cache-missing) programs per phase (default 40)",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=1.3,
+        help="fail when federated/baseline throughput falls below this (default 1.3)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small CI smoke: fewer programs/clients, ratio reported but not gated",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="report only; measure even on few cores, never fail any gate",
+    )
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    return parser.parse_args(argv)
+
+
+def workload(tag: str, unique: int, seed: int = 0) -> List[str]:
+    """Miss-heavy mixed traffic: ``unique`` cold programs + 1/3 hot repeats.
+
+    Every program is structurally distinct (distinct kernel fingerprint),
+    so the unique portion always reaches a real compile; the repeats give
+    the memory tiers something to answer, like production traffic would.
+    """
+    sources = []
+    for index in range(unique):
+        spec = ControlProgramSpec(
+            name=f"{tag}_{index}",
+            modules=1 + index % 2,
+            branching=1 + index % 2,
+            sensors=index % 3,
+            with_filter=bool(index % 2),
+            with_counter=bool((index // 2) % 2),
+        )
+        sources.append(generate_control_program(spec))
+    repeats = [sources[index % max(unique, 1)] for index in range(unique // 2)]
+    mixed = sources + repeats
+    random.Random(seed).shuffle(mixed)
+    return mixed
+
+
+# -- process management ------------------------------------------------------
+def _spawn(command: List[str]) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        command, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+
+
+def spawn_daemon(socket_path: str, store: Optional[str]) -> subprocess.Popen:
+    command = [sys.executable, "-m", "repro", "serve", "--socket", socket_path, "--jobs", "1"]
+    if store is not None:
+        command += ["--store", store]
+    return _spawn(command)
+
+
+def spawn_gateway(
+    socket_path: str, backends: List[str], store: Optional[str], jobs: int
+) -> subprocess.Popen:
+    command = [
+        sys.executable, "-m", "repro", "gateway",
+        "--socket", socket_path, "--jobs", str(jobs),
+        "--connect-timeout", "2", "--health-interval", "0.5",
+    ]
+    for backend in backends:
+        command += ["--backend", backend]
+    if store is not None:
+        command += ["--store", store]
+    return _spawn(command)
+
+
+def wait_ready(socket_path: str, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(socket_path):
+            try:
+                with RemoteCompiler(socket_path=socket_path, timeout=5.0) as probe:
+                    probe.ping()
+                return
+            except (OSError, RemoteError):
+                pass
+        time.sleep(0.05)
+    raise RuntimeError(f"server on {socket_path} did not come up in {timeout}s")
+
+
+def terminate(process: Optional[subprocess.Popen], timeout: float = 15.0) -> None:
+    if process is None or process.poll() is not None:
+        return
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait()
+
+
+# -- traffic driver ----------------------------------------------------------
+class DriveResult:
+    def __init__(self) -> None:
+        self.latencies: List[float] = []
+        self.errors: List[str] = []
+        self.completed = 0
+        self.lock = threading.Lock()
+        self.elapsed = 0.0
+
+
+def drive(
+    socket_path: str, sources: List[str], clients: int,
+    result: Optional[DriveResult] = None,
+) -> DriveResult:
+    """Fan ``sources`` out to ``clients`` concurrent connections.
+
+    Pass ``result`` to watch ``completed`` live from another thread (the
+    failover phase paces its backend kill off it).
+    """
+    queue = list(sources)
+    queue_lock = threading.Lock()
+    if result is None:
+        result = DriveResult()
+
+    def client_loop() -> None:
+        try:
+            connection = RemoteCompiler(socket_path=socket_path, timeout=120.0, retries=2)
+        except OSError as error:
+            with result.lock:
+                result.errors.append(f"connect: {error}")
+            return
+        with connection:
+            while True:
+                with queue_lock:
+                    if not queue:
+                        return
+                    source = queue.pop()
+                started = time.perf_counter()
+                try:
+                    connection.compile(source)
+                except (RemoteError, OSError) as error:
+                    with result.lock:
+                        result.errors.append(str(error))
+                        result.completed += 1
+                else:
+                    with result.lock:
+                        result.latencies.append(time.perf_counter() - started)
+                        result.completed += 1
+
+    threads = [threading.Thread(target=client_loop) for _ in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.elapsed = time.perf_counter() - started
+    return result
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def summarize(result: DriveResult) -> Dict[str, object]:
+    return {
+        "requests": result.completed,
+        "errors": len(result.errors),
+        "seconds": result.elapsed,
+        "req_per_s": result.completed / result.elapsed if result.elapsed else float("inf"),
+        "p50_ms": percentile(result.latencies, 0.50) * 1000.0,
+        "p99_ms": percentile(result.latencies, 0.99) * 1000.0,
+    }
+
+
+# -- phases ------------------------------------------------------------------
+def run_baseline(tmp: str, sources: List[str], clients: int) -> DriveResult:
+    socket_path = os.path.join(tmp, "baseline.sock")
+    daemon = spawn_daemon(socket_path, store=None)
+    try:
+        wait_ready(socket_path)
+        return drive(socket_path, sources, clients)
+    finally:
+        terminate(daemon)
+
+
+def run_federated(
+    tmp: str, sources: List[str], clients: int, backends: int, jobs: int
+) -> DriveResult:
+    backend_sockets = [os.path.join(tmp, f"fed-b{i}.sock") for i in range(backends)]
+    gateway_socket = os.path.join(tmp, "fed-gw.sock")
+    processes = [spawn_daemon(path, store=None) for path in backend_sockets]
+    gateway = None
+    try:
+        for path in backend_sockets:
+            wait_ready(path)
+        gateway = spawn_gateway(gateway_socket, backend_sockets, store=None, jobs=jobs)
+        wait_ready(gateway_socket)
+        return drive(gateway_socket, sources, clients)
+    finally:
+        terminate(gateway)
+        for process in processes:
+            terminate(process)
+
+
+def run_failover(
+    tmp: str, sources: List[str], clients: int, backends: int, jobs: int
+) -> Tuple[DriveResult, bool, bool]:
+    """Kill backend 0 mid-run, restart it, and count client-visible errors.
+
+    All backends and the gateway share one store directory, so the
+    restarted backend comes back warm from its siblings' compiles.
+    Returns ``(result, killed, restarted)`` -- either is False when the
+    run finished before its trigger fired (a too-small workload).
+    """
+    store = os.path.join(tmp, "failover-store")
+    backend_sockets = [os.path.join(tmp, f"fail-b{i}.sock") for i in range(backends)]
+    gateway_socket = os.path.join(tmp, "fail-gw.sock")
+    processes = [spawn_daemon(path, store=store) for path in backend_sockets]
+    gateway = None
+    killed = False
+    restarted = False
+    try:
+        for path in backend_sockets:
+            wait_ready(path)
+        gateway = spawn_gateway(gateway_socket, backend_sockets, store=store, jobs=jobs)
+        wait_ready(gateway_socket)
+
+        result = DriveResult()
+        driver = threading.Thread(
+            target=drive, args=(gateway_socket, sources, clients, result)
+        )
+        total = len(sources)
+        driver.start()
+
+        def completed_at_least(fraction: float, grace: float = 60.0) -> bool:
+            deadline = time.monotonic() + grace
+            while driver.is_alive() and time.monotonic() < deadline:
+                with result.lock:
+                    if result.completed >= total * fraction:
+                        return True
+                time.sleep(0.02)
+            return False
+
+        # SIGTERM backend 0 once the run is warmed up, restart it while
+        # traffic still flows -- both transitions land mid-run.
+        if completed_at_least(0.25):
+            terminate(processes[0])
+            killed = True
+        if killed and completed_at_least(0.6):
+            processes[0] = spawn_daemon(backend_sockets[0], store=store)
+            wait_ready(backend_sockets[0])
+            restarted = True
+        driver.join()
+        return result, killed, restarted
+    finally:
+        terminate(gateway)
+        for process in processes:
+            terminate(process)
+
+
+def run(argv=None) -> int:
+    arguments = parse_args(argv)
+    if arguments.quick:
+        arguments.programs = min(arguments.programs, 10)
+        arguments.clients = min(arguments.clients, 4)
+    cores = os.cpu_count() or 1
+    needed = arguments.backends + 1
+    gate_ratio = not (arguments.no_check or arguments.quick)
+    if cores < needed and gate_ratio:
+        print(
+            f"SKIP throughput gate: {cores} core(s) available, "
+            f"{arguments.backends} backend(s) + gateway need {needed}; "
+            "the ratio would be noise (failover still gated)"
+        )
+        gate_ratio = False
+
+    report: Dict[str, object] = {
+        "cores": cores,
+        "backends": arguments.backends,
+        "clients": arguments.clients,
+        "unique_programs": arguments.programs,
+    }
+    failed = False
+    with tempfile.TemporaryDirectory(prefix="repro-fedbench-") as tmp:
+        baseline = run_baseline(
+            tmp, workload("BASE", arguments.programs), arguments.clients
+        )
+        report["baseline"] = summarize(baseline)
+
+        federated = run_federated(
+            tmp,
+            workload("FED", arguments.programs),
+            arguments.clients,
+            arguments.backends,
+            jobs=max(arguments.clients, 4),
+        )
+        report["federated"] = summarize(federated)
+        ratio = (
+            report["federated"]["req_per_s"] / report["baseline"]["req_per_s"]
+            if report["baseline"]["req_per_s"]
+            else float("inf")
+        )
+        report["throughput_ratio"] = ratio
+
+        # A longer workload keeps traffic flowing across both the kill and
+        # the restart even on a fast box.
+        failover, killed, restarted = run_failover(
+            tmp,
+            workload("FAIL", arguments.programs * 2),
+            arguments.clients,
+            arguments.backends,
+            jobs=max(arguments.clients, 4),
+        )
+        report["failover"] = summarize(failover)
+        report["failover"]["backend_killed"] = killed
+        report["failover"]["backend_restarted"] = restarted
+
+    if arguments.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for phase in ("baseline", "federated", "failover"):
+            stats = report[phase]
+            print(
+                f"{phase:>9}: {stats['requests']} requests in "
+                f"{stats['seconds']:.2f}s -> {stats['req_per_s']:.1f} req/s, "
+                f"p50 {stats['p50_ms']:.1f} ms, p99 {stats['p99_ms']:.1f} ms, "
+                f"{stats['errors']} error(s)"
+            )
+        print(
+            f"federated/baseline throughput: {ratio:.2f}x "
+            f"(gate {'>= %.1fx' % arguments.min_ratio if gate_ratio else 'off'})"
+        )
+        if report["failover"]["backend_killed"]:
+            print(
+                "failover: backend 0 SIGTERMed mid-run"
+                + (" and restarted" if report["failover"]["backend_restarted"] else "")
+                + f", {report['failover']['errors']} client-visible error(s)"
+            )
+        else:
+            print(
+                "failover: run finished before the kill trigger "
+                "(workload too small to exercise the transition)"
+            )
+
+    if gate_ratio and ratio < arguments.min_ratio:
+        print(
+            f"FAIL: federated throughput ratio {ratio:.2f}x is below the "
+            f"required {arguments.min_ratio:.1f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if not arguments.no_check and report["failover"]["errors"]:
+        print(
+            f"FAIL: {report['failover']['errors']} client-visible error(s) "
+            "during backend kill/restart (failover must mask them)",
+            file=sys.stderr,
+        )
+        failed = True
+    if not arguments.no_check and not arguments.quick and not report["failover"]["backend_killed"]:
+        print(
+            "FAIL: the failover run finished before backend 0 was killed; "
+            "raise --programs so the transition lands mid-run",
+            file=sys.stderr,
+        )
+        failed = True
+    for phase in ("baseline", "federated"):
+        if not arguments.no_check and report[phase]["errors"]:
+            print(f"FAIL: {report[phase]['errors']} error(s) in the {phase} phase",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -43,6 +43,15 @@ protocol so many OS processes share its pool and caches, and
     python -m repro remote-compile a.sig --port 7420 --emit python
     python -m repro remote-compile a.sig --port 7420 --simulate 10 --stats
 
+``python -m repro gateway`` federates several daemons behind one address:
+compiles are routed by consistent hashing of the kernel fingerprint, dead
+backends are failed over, and the gateway compiles locally when the whole
+fleet is down::
+
+    python -m repro gateway --port 7400 --backend 127.0.0.1:7420 \\
+        --backend 127.0.0.1:7421 --store .repro-cache
+    python -m repro remote-compile a.sig --port 7400 --emit python
+
 The single-file mode is a thin layer over
 :func:`repro.compiler.compile_source`; it exists so the compiler can be used
 like the original batch SIGNAL compiler.
@@ -67,20 +76,29 @@ from .runtime import (
     random_oracle,
     timing_diagram,
 )
-from .service import CompilationDaemon, CompilationService, RemoteCompiler, RemoteError
+from .service import (
+    CompilationDaemon,
+    CompilationService,
+    CompileGateway,
+    RemoteCompiler,
+    RemoteError,
+)
 from .service.store import types_from_record
 
 __all__ = [
     "main",
     "run_batch",
     "run_serve",
+    "run_gateway",
     "run_remote_compile",
     "run_simulate",
     "build_argument_parser",
     "build_batch_argument_parser",
     "build_serve_argument_parser",
+    "build_gateway_argument_parser",
     "build_remote_argument_parser",
     "build_simulate_argument_parser",
+    "resolve_serve_workers",
 ]
 
 
@@ -101,10 +119,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
         epilog=(
             "Subcommands: 'repro batch <files...>' compiles many processes "
             "through one compilation service, 'repro serve' starts the "
-            "compilation daemon, 'repro remote-compile <files...>' compiles "
-            "on a running daemon (see 'repro <subcommand> --help'); a source "
-            "file literally named like a subcommand must be passed as "
-            "'./batch', './serve', ..."
+            "compilation daemon, 'repro gateway' federates several daemons "
+            "behind one address, 'repro remote-compile <files...>' compiles "
+            "on a running daemon or gateway (see 'repro <subcommand> "
+            "--help'); a source file literally named like a subcommand must "
+            "be passed as './batch', './serve', ..."
         ),
     )
     parser.add_argument("source", help="path to a SIGNAL source file, or - for stdin")
@@ -194,6 +213,16 @@ def build_batch_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "compile-store directory consulted by '--workers processes' "
+            "workers before compiling (e.g. a daemon's --store), so "
+            "cross-process batches start warm"
+        ),
+    )
+    parser.add_argument(
         "--cache-stats",
         action="store_true",
         help="print the service statistics (JSON) after compiling",
@@ -270,11 +299,12 @@ def build_serve_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workers",
         choices=["threads", "processes"],
-        default="threads",
+        default=None,
         help=(
-            "how cache misses compile when --jobs > 1: 'threads' on the "
-            "sharded pool (GIL-bound) or 'processes' on a worker-process "
-            "pool (true multi-core)"
+            "how cache misses compile when --jobs > 1: 'processes' on a "
+            "worker-process pool (true multi-core; the default whenever "
+            "--jobs > 1) or 'threads' on the sharded pool (GIL-bound; the "
+            "default for --jobs 1, explicit opt-in otherwise)"
         ),
     )
     parser.add_argument(
@@ -296,6 +326,124 @@ def build_serve_argument_parser() -> argparse.ArgumentParser:
         help=(
             "disk-store budget: after each spill, prune least-recently-used "
             "entries until the store is at most N bytes (requires --store)"
+        ),
+    )
+    return parser
+
+
+def resolve_serve_workers(workers: Optional[str], jobs: int) -> str:
+    """The ``serve``/``gateway`` --workers default: processes when parallel.
+
+    Threads are GIL-bound across shards, so a daemon asked for ``--jobs >
+    1`` wants worker processes unless the operator explicitly opts into
+    threads; a single-job daemon keeps the cheaper in-process path.
+    """
+    if workers is not None:
+        return workers
+    return "processes" if jobs > 1 else "threads"
+
+
+def build_gateway_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro gateway",
+        description=(
+            "Run the compile gateway: one protocol-compatible front-end "
+            "routing compiles across a fleet of compilation daemons by "
+            "consistent hashing of the kernel fingerprint, with health "
+            "checks, failover and local graceful degradation"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        default=[],
+        metavar="HOST:PORT|SOCKET",
+        help=(
+            "a backend daemon address (repeatable); HOST:PORT for TCP, a "
+            "path for a unix socket"
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="N",
+        help="TCP port (default 0: pick a free port and print it)",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve on a unix domain socket instead of TCP",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "shared compile-store directory (point the backends at the same "
+            "directory to make it a fleet-wide artifact tier); also warms "
+            "the gateway's local-fallback engine"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help=(
+            "concurrent request workers (default 8; forwarding threads "
+            "mostly wait on backend I/O, so more than one core's worth is "
+            "fine)"
+        ),
+    )
+    parser.add_argument(
+        "--backend-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-request timeout towards a backend (default 60)",
+    )
+    parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="backend connection-establishment timeout (default 5)",
+    )
+    parser.add_argument(
+        "--health-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between background backend health sweeps (default 2)",
+    )
+    parser.add_argument(
+        "--no-local-fallback",
+        action="store_true",
+        help=(
+            "answer 'no-backend' errors instead of compiling locally when "
+            "every backend is down"
+        ),
+    )
+    parser.add_argument(
+        "--max-entries",
+        type=_positive_int,
+        default=128,
+        help="capacity of the gateway's in-memory caches (default 128)",
+    )
+    parser.add_argument(
+        "--log-requests",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append one JSON line per request (op, outcome, origin, "
+            "duration) to PATH, or to stdout when PATH is omitted"
         ),
     )
     return parser
@@ -337,6 +485,23 @@ def build_remote_argument_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print the daemon's cache statistics (JSON) after compiling",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="connect/request timeout per round-trip (default 60)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "reconnect and resend up to N times after a transport failure "
+            "(timeouts, resets; daemon-reported errors are never retried)"
+        ),
     )
     return parser
 
@@ -542,6 +707,7 @@ def run_batch(argv: List[str]) -> int:
         max_entries=arguments.max_entries,
         max_pool_nodes=arguments.max_pool_nodes,
         shards=arguments.shards,
+        store=arguments.store,
     )
     with service:  # shuts the worker-process pool down on exit
         for round_index in range(arguments.repeat):
@@ -613,7 +779,7 @@ def run_serve(argv: List[str]) -> int:
         max_entries=arguments.max_entries,
         max_pool_nodes=arguments.max_pool_nodes,
         shards=arguments.shards,
-        workers=arguments.workers,
+        workers=resolve_serve_workers(arguments.workers, arguments.jobs),
         jobs=arguments.jobs,
         request_log=arguments.log_requests,
         store_max_bytes=arguments.store_max_bytes,
@@ -647,6 +813,52 @@ def run_serve(argv: List[str]) -> int:
     return 0
 
 
+def run_gateway(argv: List[str]) -> int:
+    """The ``gateway`` subcommand: front a fleet of compilation daemons."""
+    parser = build_gateway_argument_parser()
+    arguments = parser.parse_args(argv)
+
+    try:
+        gateway = CompileGateway(
+            backends=arguments.backend,
+            local_fallback=not arguments.no_local_fallback,
+            backend_timeout=arguments.backend_timeout,
+            connect_timeout=arguments.connect_timeout,
+            health_interval=arguments.health_interval,
+            store=arguments.store,
+            max_entries=arguments.max_entries,
+            jobs=arguments.jobs,
+            request_log=arguments.log_requests,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    def announce() -> None:
+        if arguments.socket is not None:
+            print(f"repro gateway listening on unix socket {arguments.socket}", flush=True)
+        else:
+            host, port = gateway.address
+            print(f"repro gateway listening on {host}:{port}", flush=True)
+        specs = gateway.backends
+        if specs:
+            print(f"routing over {len(specs)} backend(s): {', '.join(specs)}", flush=True)
+        else:
+            print("no backends registered; compiling locally", flush=True)
+
+    try:
+        gateway.run(
+            host=arguments.host,
+            port=arguments.port,
+            socket_path=arguments.socket,
+            on_ready=announce,
+        )
+    except OSError as error:
+        print(f"error: cannot bind: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def run_remote_compile(argv: List[str]) -> int:
     """The ``remote-compile`` subcommand: compile on a running daemon."""
     parser = build_remote_argument_parser()
@@ -656,9 +868,16 @@ def run_remote_compile(argv: List[str]) -> int:
         return 2
 
     style = GenerationStyle.FLAT if arguments.flat else GenerationStyle.HIERARCHICAL
+    if arguments.retries < 0:
+        print("error: --retries must be non-negative", file=sys.stderr)
+        return 2
     try:
         client = RemoteCompiler(
-            host=arguments.host, port=arguments.port, socket_path=arguments.socket
+            host=arguments.host,
+            port=arguments.port,
+            socket_path=arguments.socket,
+            timeout=arguments.timeout,
+            retries=arguments.retries,
         )
     except OSError as error:
         print(f"error: cannot connect to the daemon: {error}", file=sys.stderr)
@@ -712,6 +931,7 @@ def run_remote_compile(argv: List[str]) -> int:
 SUBCOMMANDS = {
     "batch": run_batch,
     "serve": run_serve,
+    "gateway": run_gateway,
     "remote-compile": run_remote_compile,
     "simulate": run_simulate,
 }

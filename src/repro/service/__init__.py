@@ -14,16 +14,22 @@
   JSON-line server (``python -m repro serve``) that lets many OS processes
   share one service, plus :class:`ThreadedDaemon` for in-process embedding;
 * :mod:`repro.service.client` -- :class:`RemoteCompiler`, the blocking
-  client library behind ``python -m repro remote-compile``.
+  client library behind ``python -m repro remote-compile``;
+* :mod:`repro.service.federation` -- :class:`CompileGateway`, the
+  consistent-hash routing front-end (``python -m repro gateway``) that
+  spreads compiles over a fleet of daemons with health checks, failover
+  and local graceful degradation.
 """
 
 from .cache import CacheStats, LRUCache, shard_for_fingerprint, source_digest
 from .client import RemoteCompiler, RemoteError, RemoteResult
 from .daemon import PROTOCOL_VERSION, CompilationDaemon, ThreadedDaemon
+from .federation import BackendState, CompileGateway, HashRing, parse_backend_spec
 from .service import WORKER_MODES, CompilationService
 from .store import (
     CompileStore,
     executable_from_record,
+    key_from_record,
     record_from_result,
     store_key,
     types_from_record,
@@ -44,7 +50,12 @@ __all__ = [
     "executable_from_record",
     "types_from_record",
     "store_key",
+    "key_from_record",
     "RemoteCompiler",
     "RemoteError",
     "RemoteResult",
+    "CompileGateway",
+    "HashRing",
+    "BackendState",
+    "parse_backend_spec",
 ]

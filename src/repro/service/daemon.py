@@ -96,6 +96,7 @@ from .service import WORKER_MODES, CompilationService
 from .store import (
     CompileStore,
     executable_from_record,
+    key_from_record,
     record_from_result,
     store_key,
     types_from_record,
@@ -182,12 +183,16 @@ class CompilationDaemon:
             raise ValueError(f"workers must be one of {WORKER_MODES} (got {workers!r})")
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
-        self.service = service if service is not None else CompilationService(
-            max_entries=max_entries, max_pool_nodes=max_pool_nodes, shards=shards
-        )
         if store is not None and not isinstance(store, CompileStore):
             store = CompileStore(store)
         self.store: Optional[CompileStore] = store
+        # A self-created service shares the daemon's store, so its process
+        # workers warm-start from disk too (an injected service keeps
+        # whatever store its owner configured).
+        self.service = service if service is not None else CompilationService(
+            max_entries=max_entries, max_pool_nodes=max_pool_nodes, shards=shards,
+            store=store,
+        )
         self._workers = workers
         self._jobs = jobs
         self._store_max_bytes = store_max_bytes
@@ -444,28 +449,7 @@ class CompilationDaemon:
     def _dispatch(self, request: Dict[str, object]) -> Dict[str, object]:
         op = request.get("op")
         try:
-            if op == "compile":
-                return self._handle_compile(request)
-            if op == "stats":
-                return {"ok": True, "op": "stats", **self.statistics()}
-            if op == "ping":
-                return {"ok": True, "op": "ping", "protocol": PROTOCOL_VERSION}
-            if op == "clear-cache":
-                include_store = _field(request, "store", bool, False)
-                self.clear_caches(include_store=include_store)
-                return {"ok": True, "op": "clear-cache", "store": include_store}
-            if op == "prune":
-                return self._handle_prune(request)
-            if op == "shutdown":
-                drain = _field(request, "drain", bool, False)
-                return {"ok": True, "op": "shutdown", "drain": drain}
-            return self._count_error(
-                _error_response(
-                    "invalid-request",
-                    f"unknown op {op!r} (expected "
-                    "compile/stats/ping/clear-cache/prune/shutdown)",
-                )
-            )
+            return self._dispatch_op(op, request)
         except _RequestError as error:
             return self._count_error(_error_response("invalid-request", str(error), op))
         except SignalError as error:
@@ -474,6 +458,103 @@ class CompilationDaemon:
             return self._count_error(
                 _error_response("internal-error", f"{type(error).__name__}: {error}", op)
             )
+
+    def _dispatch_op(self, op: object, request: Dict[str, object]) -> Dict[str, object]:
+        """Route one validated request object by ``op``.
+
+        Subclasses (the gateway) override this to reinterpret or add ops
+        and fall through to ``super()`` for the rest; the exception ladder
+        in :meth:`_dispatch` stays in force either way.
+        """
+        if op == "compile":
+            return self._handle_compile(request)
+        if op == "stats":
+            return {"ok": True, "op": "stats", **self.statistics()}
+        if op == "ping":
+            return {"ok": True, "op": "ping", "protocol": PROTOCOL_VERSION}
+        if op == "clear-cache":
+            include_store = _field(request, "store", bool, False)
+            self.clear_caches(include_store=include_store)
+            return {"ok": True, "op": "clear-cache", "store": include_store}
+        if op == "prune":
+            return self._handle_prune(request)
+        if op == "store-get":
+            return self._handle_store_get(request)
+        if op == "store-put":
+            return self._handle_store_put(request)
+        if op == "shutdown":
+            drain = _field(request, "drain", bool, False)
+            return {"ok": True, "op": "shutdown", "drain": drain}
+        return self._count_error(
+            _error_response(
+                "invalid-request",
+                f"unknown op {op!r} (expected compile/stats/ping/clear-cache/"
+                "prune/store-get/store-put/shutdown)",
+            )
+        )
+
+    def _store_request_key(self, request: Dict[str, object]):
+        """Build the cache key a ``store-get`` request names."""
+        fingerprint = request.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise _RequestError("field 'fingerprint' must be a non-empty string")
+        style_name = _field(request, "style", str, GenerationStyle.HIERARCHICAL.value)
+        try:
+            style = GenerationStyle(style_name)
+        except ValueError:
+            raise _RequestError(
+                f"field 'style' must be one of {[s.value for s in GenerationStyle]}"
+            ) from None
+        build_flat = _field(request, "build_flat", bool, False)
+        observable = _field(request, "observable", bool, True)
+        return store_key(fingerprint, style, build_flat, observable)
+
+    def _handle_store_get(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The ``store-get`` op: read the artifact tier without compiling.
+
+        Probes memory then disk (promoting a disk hit into memory, like a
+        compile would).  A miss is a successful response with
+        ``found: false`` -- the caller decides whether to compile.
+        """
+        key = self._store_request_key(request)
+        record = self._records.get(key)
+        origin = "memory"
+        if record is None and self.store is not None:
+            record = self.store.get(key)
+            if record is not None:
+                origin = "store"
+                self._records.put(key, record)
+        if record is None:
+            return {"ok": True, "op": "store-get", "found": False}
+        return {"ok": True, "op": "store-get", "found": True, "origin": origin,
+                "record": record}
+
+    def _handle_store_put(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The ``store-put`` op: inject an artifact record into the tiers.
+
+        The record self-describes its key (fingerprint + options), so a
+        node that compiled elsewhere -- another daemon, a batch run -- can
+        warm this one.  The memory tier always takes the record; the disk
+        write is best-effort like a compile's spill.  ``stored`` reports
+        whether the record reached disk.
+        """
+        record = request.get("record")
+        try:
+            key = key_from_record(record)
+        except ValueError as error:
+            raise _RequestError(f"field 'record' is not a valid artifact record: {error}")
+        self._records.put(key, record)
+        stored = False
+        if self.store is not None:
+            try:
+                self.store.put(key, record)
+            except OSError:
+                with self._lock:
+                    self._store_put_failures += 1
+            else:
+                stored = True
+                self._enforce_store_budget()
+        return {"ok": True, "op": "store-put", "stored": stored}
 
     def _handle_prune(self, request: Dict[str, object]) -> Dict[str, object]:
         """The ``prune`` op: shrink the disk store to a byte budget."""

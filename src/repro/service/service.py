@@ -102,11 +102,12 @@ the next process-mode call simply builds a fresh pool).
 from __future__ import annotations
 
 import contextlib
+import os
 import queue
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import replace
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..bdd import BDDManager, ScopedBDDManager
 from ..codegen.ir import GenerationStyle
@@ -115,7 +116,7 @@ from ..lang.ast import Process
 from ..lang.kernel import KernelProgram, normalize
 from ..lang.parser import parse_process
 from .cache import LRUCache, shard_for_fingerprint, source_digest
-from .store import record_from_result
+from .store import CompileStore, record_from_result, store_key
 
 __all__ = ["CompilationService", "WORKER_MODES"]
 
@@ -165,8 +166,20 @@ class _WorkerSlot:
 #: per-worker-process compilation service (warm caches within one worker)
 _WORKER_SERVICE: Optional["CompilationService"] = None
 
+#: per-worker-process handles on parent disk stores, keyed by directory
+_WORKER_STORES: Dict[str, CompileStore] = {}
 
-def _process_worker_record(payload: Tuple[str, str, bool, bool]) -> Dict[str, object]:
+
+def _worker_store(path: Optional[str]) -> Optional[CompileStore]:
+    store = _WORKER_STORES.get(path) if path is not None else None
+    if path is not None and store is None:
+        store = _WORKER_STORES[path] = CompileStore(path)
+    return store
+
+
+def _process_worker_record(
+    payload: Tuple[str, str, bool, bool, Optional[str]]
+) -> Dict[str, object]:
     """Compile one source in a worker process; return its artifact record.
 
     Runs in the pool's child processes.  The worker keeps a small private
@@ -174,18 +187,44 @@ def _process_worker_record(payload: Tuple[str, str, bool, bool]) -> Dict[str, ob
     one worker hit a warm cache; the record that crosses back to the parent
     is plain JSON (see the module docstring).  Toolchain errors propagate
     to the parent as the original ``SignalError`` subclass.
+
+    When the parent configured a disk :class:`CompileStore`, the worker
+    layers it under its private cache: the key is probed *before* the
+    pipeline runs (so a record any daemon/node spilled earlier is a warm
+    start here), and a genuine compile is spilled back (best-effort) so it
+    warms every process and node sharing the directory.
     """
     global _WORKER_SERVICE
     if _WORKER_SERVICE is None:
         _WORKER_SERVICE = CompilationService(max_entries=64)
-    source, style_value, build_flat, observable = payload
+    source, style_value, build_flat, observable, store_path = payload
     style = GenerationStyle(style_value)
-    result = _WORKER_SERVICE.compile(
-        source, style=style, build_flat=build_flat, observable=observable
+    store = _worker_store(store_path)
+    if store is None:
+        result = _WORKER_SERVICE.compile(
+            source, style=style, build_flat=build_flat, observable=observable
+        )
+        return record_from_result(
+            result, style, build_flat=build_flat, observable=observable
+        )
+    process = parse_process(source)
+    program = normalize(process)
+    key = store_key(program.fingerprint(), style, build_flat, observable)
+    record = store.get(key)
+    if record is not None:
+        return record
+    result = _WORKER_SERVICE.compile_process(
+        process, style=style, build_flat=build_flat, observable=observable,
+        program=program,
     )
-    return record_from_result(
+    record = record_from_result(
         result, style, build_flat=build_flat, observable=observable
     )
+    try:
+        store.put(key, record)
+    except OSError:
+        pass  # a full disk must not fail a successful compile
+    return record
 
 
 class CompilationService:
@@ -209,6 +248,14 @@ class CompilationService:
         Number of independent pooled managers.  Programs route to shards by
         kernel-fingerprint hash (see the module docstring); compilations on
         different shards may run concurrently.
+    store:
+        Optionally, a disk :class:`~repro.service.store.CompileStore` (or
+        its directory path) that **process workers** layer under their
+        private caches: workers probe it before compiling and spill genuine
+        compiles back, so cross-process batches warm-start from (and warm)
+        every daemon/node sharing the directory.  The in-process compile
+        path does not consult it -- the daemon layers the store above the
+        service, exactly as before.
 
     ``compile``/``compile_process`` serialize per shard (concurrent calls
     for programs on different shards proceed in parallel);
@@ -222,6 +269,7 @@ class CompilationService:
         manager: Optional[BDDManager] = None,
         max_pool_nodes: Optional[int] = None,
         shards: int = 1,
+        store: Optional[Union[CompileStore, str, os.PathLike]] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -234,6 +282,11 @@ class CompilationService:
             _PoolShard(0, manager if manager is not None else BDDManager())
         ] + [_PoolShard(index, BDDManager()) for index in range(1, shards)]
         self.max_pool_nodes = max_pool_nodes
+        if store is not None and not isinstance(store, CompileStore):
+            store = CompileStore(store)
+        #: disk store process workers layer under their caches (may be None)
+        self.store: Optional[CompileStore] = store
+        self._store_path = str(store.path) if store is not None else None
         self._results: LRUCache[CompilationResult] = LRUCache(
             max_entries, on_evict=self._on_result_evicted
         )
@@ -622,7 +675,7 @@ class CompilationService:
         observable: bool,
     ) -> List[Dict[str, object]]:
         payloads = [
-            (source, style.value, bool(build_flat), bool(observable))
+            (source, style.value, bool(build_flat), bool(observable), self._store_path)
             for source in source_list
         ]
         with self._borrow_process_pool(max(jobs, 1)) as pool:
@@ -663,7 +716,8 @@ class CompilationService:
         with self._borrow_process_pool(max(jobs, 1)) as pool:
             record = pool.submit(
                 _process_worker_record,
-                (source, style.value, bool(build_flat), bool(observable)),
+                (source, style.value, bool(build_flat), bool(observable),
+                 self._store_path),
             ).result()
         with self._lock:
             self._requests += 1

@@ -51,6 +51,7 @@ __all__ = [
     "STORE_FORMAT",
     "CompileStore",
     "store_key",
+    "key_from_record",
     "record_from_result",
     "executable_from_record",
     "types_from_record",
@@ -124,6 +125,36 @@ def record_from_result(
         ),
     }
     return record
+
+
+def key_from_record(record: Dict[str, object]) -> StoreKey:
+    """The store key a self-describing record belongs under.
+
+    Validates the identity fields a record must carry (the ``store-put``
+    protocol op and cross-node record transfer rely on this): a record of
+    another format version, or one missing its fingerprint/style, raises
+    ``ValueError`` rather than being filed under a made-up key.
+    """
+    if not isinstance(record, dict):
+        raise ValueError("artifact record must be a JSON object")
+    if record.get("format") != STORE_FORMAT:
+        raise ValueError(
+            f"record format {record.get('format')!r} is not the supported "
+            f"format {STORE_FORMAT}"
+        )
+    fingerprint = record.get("fingerprint")
+    if not isinstance(fingerprint, str) or not fingerprint:
+        raise ValueError("record carries no kernel fingerprint")
+    try:
+        style = GenerationStyle(record.get("style"))
+    except ValueError:
+        raise ValueError(f"record carries unknown style {record.get('style')!r}") from None
+    return store_key(
+        fingerprint,
+        style,
+        bool(record.get("build_flat", False)),
+        bool(record.get("observable", True)),
+    )
 
 
 def types_from_record(record: Dict[str, object]) -> Dict[str, SignalType]:

@@ -184,6 +184,64 @@ class TestServeArguments:
         assert run_serve(["--store-max-bytes", "1000"]) == 2
         assert "--store" in capsys.readouterr().err
 
+    def test_workers_defaults_to_processes_only_when_parallel(self):
+        from repro.cli import build_serve_argument_parser, resolve_serve_workers
+
+        # The parser leaves --workers unset; the runner resolves it by jobs.
+        assert build_serve_argument_parser().parse_args([]).workers is None
+        assert resolve_serve_workers(None, 1) == "threads"
+        assert resolve_serve_workers(None, 4) == "processes"
+        # Explicit choices always win (threads stays an opt-in).
+        assert resolve_serve_workers("threads", 4) == "threads"
+        assert resolve_serve_workers("processes", 1) == "processes"
+
+
+class TestGatewayArguments:
+    def test_gateway_parser_accepts_backends_and_tuning(self):
+        from repro.cli import build_gateway_argument_parser
+
+        arguments = build_gateway_argument_parser().parse_args([
+            "--backend", "127.0.0.1:7420", "--backend", "./b1.sock",
+            "--socket", "gw.sock", "--backend-timeout", "10",
+            "--connect-timeout", "1", "--health-interval", "0.5",
+            "--no-local-fallback", "--jobs", "4",
+        ])
+        assert arguments.backend == ["127.0.0.1:7420", "./b1.sock"]
+        assert arguments.socket == "gw.sock"
+        assert arguments.backend_timeout == 10.0
+        assert arguments.connect_timeout == 1.0
+        assert arguments.health_interval == 0.5
+        assert arguments.no_local_fallback is True
+        assert arguments.jobs == 4
+
+    def test_gateway_rejects_a_bad_backend_spec(self, capsys):
+        from repro.cli import run_gateway
+
+        assert run_gateway(["--backend", "host:notaport"]) == 2
+        assert "invalid backend spec" in capsys.readouterr().err
+
+
+class TestRemoteCompileArguments:
+    def test_remote_parser_accepts_timeout_and_retries(self):
+        from repro.cli import build_remote_argument_parser
+
+        arguments = build_remote_argument_parser().parse_args([
+            "a.sig", "--port", "7420", "--timeout", "5", "--retries", "3",
+        ])
+        assert arguments.timeout == 5.0
+        assert arguments.retries == 3
+        defaults = build_remote_argument_parser().parse_args(["a.sig", "--port", "1"])
+        assert defaults.timeout == 60.0
+        assert defaults.retries == 0
+
+    def test_remote_rejects_negative_retries(self, counter_file, capsys):
+        from repro.cli import run_remote_compile
+
+        assert run_remote_compile(
+            [counter_file, "--port", "1", "--retries", "-1"]
+        ) == 2
+        assert "non-negative" in capsys.readouterr().err
+
 
 class TestSimulationAndErrors:
     def test_simulate_prints_timing_diagram(self, alarm_file, capsys):

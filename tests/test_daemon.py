@@ -650,3 +650,91 @@ class TestStorePruning:
                 assert result.artifacts["python"] == compile_source(
                     COUNTER_SOURCE
                 ).python_source()
+
+
+class TestStoreOps:
+    """The store-get/store-put ops: the artifact tier over the wire."""
+
+    def _record(self):
+        daemon = CompilationDaemon()
+        record, _ = daemon.compile_record(COUNTER_SOURCE)
+        return record
+
+    def test_store_get_miss_then_hit_with_origins(self, tmp_path):
+        daemon = CompilationDaemon(store=str(tmp_path))
+        record, _ = daemon.compile_record(COUNTER_SOURCE)
+        fingerprint = record["fingerprint"]
+        response = daemon.handle_request(
+            {"op": "store-get", "fingerprint": fingerprint}
+        )
+        assert response["ok"] and response["found"]
+        assert response["origin"] == "memory"
+        assert response["record"]["fingerprint"] == fingerprint
+
+        # A fresh daemon on the same store answers from disk and promotes.
+        restarted = CompilationDaemon(store=str(tmp_path))
+        response = restarted.handle_request(
+            {"op": "store-get", "fingerprint": fingerprint}
+        )
+        assert response["found"] and response["origin"] == "store"
+        response = restarted.handle_request(
+            {"op": "store-get", "fingerprint": fingerprint}
+        )
+        assert response["found"] and response["origin"] == "memory"
+
+    def test_store_get_miss_is_ok_not_error(self):
+        daemon = CompilationDaemon()
+        response = daemon.handle_request(
+            {"op": "store-get", "fingerprint": "no-such-kernel"}
+        )
+        assert response["ok"] and response["found"] is False
+        assert daemon.statistics()["daemon"]["errors"] == 0
+
+    def test_store_get_validates_fields(self):
+        daemon = CompilationDaemon()
+        for request in (
+            {"op": "store-get"},
+            {"op": "store-get", "fingerprint": ""},
+            {"op": "store-get", "fingerprint": "x", "style": "baroque"},
+        ):
+            response = daemon.handle_request(request)
+            assert not response["ok"]
+            assert response["error"]["code"] == "invalid-request"
+
+    def test_store_put_feeds_both_tiers(self, tmp_path):
+        record = self._record()
+        daemon = CompilationDaemon(store=str(tmp_path))
+        response = daemon.handle_request({"op": "store-put", "record": record})
+        assert response["ok"] and response["stored"] is True
+        # The injected record answers compiles without compiling.
+        _, origin = daemon.compile_record(COUNTER_SOURCE)
+        assert origin == "memory"
+        assert daemon.statistics()["daemon"]["compiles"] == 0
+
+    def test_store_put_without_disk_store_feeds_memory_only(self):
+        record = self._record()
+        daemon = CompilationDaemon()
+        response = daemon.handle_request({"op": "store-put", "record": record})
+        assert response["ok"] and response["stored"] is False
+        _, origin = daemon.compile_record(COUNTER_SOURCE)
+        assert origin == "memory"
+
+    def test_store_put_rejects_invalid_records(self):
+        daemon = CompilationDaemon()
+        record = self._record()
+        for bad in (
+            None,
+            "not a record",
+            {},
+            {**record, "format": 999},
+            {**record, "fingerprint": ""},
+            {**record, "style": "baroque"},
+        ):
+            response = daemon.handle_request({"op": "store-put", "record": bad})
+            assert not response["ok"]
+            assert response["error"]["code"] == "invalid-request"
+
+    def test_unknown_op_lists_the_store_ops(self):
+        response = CompilationDaemon().handle_request({"op": "nope"})
+        assert "store-get" in response["error"]["message"]
+        assert "store-put" in response["error"]["message"]

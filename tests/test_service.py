@@ -422,6 +422,61 @@ class TestProcessBatch:
         assert inline == remote
 
 
+class TestProcessWorkerStore:
+    """Process-pool workers consult the parent's disk store before compiling."""
+
+    def test_workers_read_the_store_before_compiling(self, tmp_path):
+        from repro.service import CompileStore, key_from_record
+
+        with CompilationService() as donor:
+            record = donor.compile_record(COUNTER_SOURCE)
+        store = CompileStore(tmp_path / "store")
+        # A sentinel key survives only if the worker served the record
+        # from disk instead of compiling it fresh.
+        store.put(key_from_record(record), {**record, "warm_marker": "from-disk"})
+
+        with CompilationService(store=store) as service:
+            records = service.compile_batch(
+                [COUNTER_SOURCE, WATCHDOG_SOURCE], jobs=2, workers="processes"
+            )
+        assert records[0]["warm_marker"] == "from-disk"  # store hit, no compile
+        assert "warm_marker" not in records[1]  # honest cold compile
+
+    def test_workers_write_back_to_the_store(self, tmp_path):
+        from repro.service import CompileStore
+
+        store = CompileStore(tmp_path / "store")
+        with CompilationService(store=store) as service:
+            service.compile_batch(
+                [COUNTER_SOURCE, WATCHDOG_SOURCE], jobs=2, workers="processes"
+            )
+        assert len(store) == 2  # both compiles spilled for the next batch
+
+    def test_store_accepts_a_path_and_single_submits_use_it(self, tmp_path):
+        from repro.service import CompileStore, key_from_record
+
+        with CompilationService() as donor:
+            record = donor.compile_record(COUNTER_SOURCE)
+        CompileStore(tmp_path).put(key_from_record(record), {**record, "warm_marker": 1})
+        with CompilationService(store=str(tmp_path)) as service:
+            warmed = service.compile_record_in_process(COUNTER_SOURCE)
+        assert warmed["warm_marker"] == 1
+
+    def test_thread_batches_ignore_the_store(self, tmp_path):
+        """The in-process path keeps its live-result cache semantics; only
+        record-producing process workers layer the disk store."""
+        from repro.service import CompileStore, key_from_record
+
+        with CompilationService() as donor:
+            record = donor.compile_record(COUNTER_SOURCE)
+        store = CompileStore(tmp_path)
+        store.put(key_from_record(record), {**record, "warm_marker": 1})
+        with CompilationService(store=store) as service:
+            result = service.compile(COUNTER_SOURCE)
+        assert result.name == "COUNT"  # live result, unaffected by the record
+        assert len(store) == 1  # and nothing extra was written
+
+
 class TestPoolHygiene:
     SOURCES = [COUNTER_SOURCE, WATCHDOG_SOURCE, ACCUMULATOR_SOURCE, ALARM_SOURCE]
 

@@ -45,7 +45,14 @@ Quickstart::
 """
 
 from .bdd import BDD, BDDManager
-from .compiler import CompilationResult, analyze_source, compile_process, compile_source
+from .compiler import (
+    CompilationResult,
+    LinkedCompilationResult,
+    analyze_source,
+    compile_modular_source,
+    compile_process,
+    compile_source,
+)
 from .codegen import GenerationStyle
 from .errors import (
     CausalityError,
@@ -70,7 +77,9 @@ __all__ = [
     "BDDManager",
     "CompilationResult",
     "CompilationService",
+    "LinkedCompilationResult",
     "analyze_source",
+    "compile_modular_source",
     "compile_process",
     "compile_source",
     "GenerationStyle",

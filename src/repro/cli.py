@@ -223,6 +223,15 @@ def build_batch_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--modular",
+        action="store_true",
+        help=(
+            "compile each program per kernel unit (connected component) and "
+            "link the cached unit artifacts; programs sharing modules reuse "
+            "each other's unit compiles"
+        ),
+    )
+    parser.add_argument(
         "--cache-stats",
         action="store_true",
         help="print the service statistics (JSON) after compiling",
@@ -715,7 +724,11 @@ def run_batch(argv: List[str]) -> int:
             hits_before = service.statistics()["cache_hits"]
             try:
                 results = service.compile_batch(
-                    sources, jobs=arguments.jobs, style=style, workers=arguments.workers
+                    sources,
+                    jobs=arguments.jobs,
+                    style=style,
+                    workers=arguments.workers,
+                    modular=arguments.modular,
                 )
             except SignalError as batch_error:
                 # Identify the culprit.  Process batches annotate the error
@@ -746,6 +759,13 @@ def run_batch(argv: List[str]) -> int:
             else:
                 hits = service.statistics()["cache_hits"] - hits_before
                 summary = f"{hits} cache hit(s)"
+                if arguments.modular:
+                    stats = service.statistics()
+                    summary += (
+                        f", {stats['unit_hits']} unit hit(s), "
+                        f"{stats['unit_misses']} unit compile(s), "
+                        f"{stats['links']} link(s)"
+                    )
             print(
                 f"round {round_index + 1}: compiled {len(results)} program(s) "
                 f"in {elapsed * 1000.0:.1f} ms ({summary})"

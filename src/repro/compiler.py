@@ -27,20 +27,37 @@ if TYPE_CHECKING:  # imported lazily to avoid a circular module import
     from .service import CompilationService
 
 from .bdd import BDDManager
+from .clocks.algebra import CondFalse, CondTrue, SignalClock
 from .clocks.equations import ClockSystem, extract_clock_system
 from .clocks.resolution import ClockHierarchy, resolve
 from .codegen.c_backend import generate_c_shared_source, generate_c_source
 from .codegen.ir import GenerationStyle, StepIR, build_step_ir
-from .codegen.python_backend import CompiledProcess, compile_step, generate_python_source
+from .codegen.linker import ir_to_payload, link_step_ir
+from .codegen.python_backend import (
+    CompiledProcess,
+    _instantiate_step,
+    compile_step,
+    generate_python_source,
+)
 from .graph.dependency import ConditionalDependencyGraph, build_dependency_graph
 from .graph.scheduling import Schedule, build_schedule
 from .lang.ast import Process
 from .lang.kernel import KernelProgram, normalize
 from .lang.parser import parse_process
 from .lang.types import SignalType, infer_types
+from .lang.units import ProgramUnit, UNIT_FINGERPRINT_VERSION, rename_text, split_units
 from .runtime.interpreter import KernelInterpreter
 
-__all__ = ["CompilationResult", "compile_source", "compile_process", "analyze_source"]
+__all__ = [
+    "CompilationResult",
+    "LinkedCompilationResult",
+    "compile_source",
+    "compile_process",
+    "analyze_source",
+    "compile_unit_record",
+    "link_units",
+    "compile_modular_source",
+]
 
 
 @dataclass
@@ -230,4 +247,323 @@ def compile_source(
         build_flat=build_flat,
         observable=observable,
         manager=manager,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Modular compilation: per-unit artifacts and the link stage
+# ---------------------------------------------------------------------------
+
+def _serialize_atoms(atoms) -> list:
+    """Clock atoms of a free class as JSON-safe ``[kind, signal]`` pairs."""
+    serialized = []
+    for atom in atoms:
+        if isinstance(atom, SignalClock):
+            serialized.append(["signal", atom.signal])
+        elif isinstance(atom, CondTrue):
+            serialized.append(["cond_true", atom.signal])
+        elif isinstance(atom, CondFalse):
+            serialized.append(["cond_false", atom.signal])
+        else:  # pragma: no cover - free classes only hold the three atom kinds
+            raise TypeError(f"unsupported clock atom {atom!r} on a free class")
+    return sorted(serialized)
+
+
+def compile_unit_record(unit: ProgramUnit, manager: Optional[BDDManager] = None) -> dict:
+    """Compile one canonical unit through the full pipeline into a record.
+
+    The unit is compiled under its *canonical* names (so the record is
+    shareable across every program embedding the module) and the record
+    captures everything the link stage needs: the step IR of both
+    generation styles, the signal -> clock-class map, the free classes with
+    their structural atoms (presence keys are recomputed per program at
+    link time), the inferred types and the rendered per-unit artifacts.
+    The record is JSON-safe and is what the in-memory unit LRU and the
+    on-disk :class:`~repro.service.store.CompileStore` cache.
+    """
+    from .service.store import STORE_FORMAT, UNIT_STYLE  # deferred: service imports us
+
+    canonical = unit.canonical
+    types = infer_types(canonical)
+    clock_system = extract_clock_system(canonical, types)
+    hierarchy = resolve(clock_system, manager=manager)
+    hierarchy.check()
+    graph = build_dependency_graph(canonical)
+    graph.check_causality(hierarchy)
+    schedule = build_schedule(canonical, hierarchy, graph)
+
+    ir_by_style = {
+        style.value: ir_to_payload(build_step_ir(schedule, types, style))
+        for style in (GenerationStyle.HIERARCHICAL, GenerationStyle.FLAT)
+    }
+    class_ids = sorted(c.id for c in hierarchy.classes if not c.is_null)
+    all_ids = [c.id for c in hierarchy.classes]
+    for payload in ir_by_style.values():
+        all_ids.extend(payload["referenced_class_ids"])
+    free = [c for c in hierarchy.free_classes() if not c.is_null]
+
+    statistics = dict(hierarchy.statistics())
+    statistics["signals"] = len(canonical.signals)
+    statistics["kernel_processes"] = len(canonical.processes)
+    statistics["dependency_edges"] = graph.edge_count()
+
+    return {
+        "format": STORE_FORMAT,
+        "kind": "unit",
+        "fingerprint": unit.fingerprint(),
+        "style": UNIT_STYLE,
+        "build_flat": False,
+        "observable": True,
+        "unit_version": UNIT_FINGERPRINT_VERSION,
+        "name": canonical.name,
+        "types": {name: type_.value for name, type_ in types.items()},
+        "class_ids": class_ids,
+        "max_class_id": max(all_ids, default=-1),
+        "signal_class": {
+            signal: clock_class.id for signal, clock_class in schedule.signal_class.items()
+        },
+        "free_classes": [
+            {"id": c.id, "atoms": _serialize_atoms(c.atoms)} for c in free
+        ],
+        "ir": ir_by_style,
+        "artifacts": {
+            "forest": hierarchy.render_forest(),
+            "free": [c.display_name() for c in free],
+            "clocks": str(clock_system),
+            "kernel": str(canonical),
+        },
+        "statistics": statistics,
+    }
+
+
+class _LinkedClockSystemText:
+    """Stand-in for :class:`ClockSystem` on linked results (text only)."""
+
+    __slots__ = ("_text",)
+
+    def __init__(self, text: str):
+        self._text = text
+
+    def __str__(self) -> str:
+        return self._text
+
+
+#: statistics keys summed across units by :meth:`LinkedCompilationResult.statistics`
+_ADDITIVE_STATS = (
+    "classes",
+    "variables",
+    "bdd_nodes",
+    "bdd_nodes_total",
+    "trees",
+    "forest_nodes",
+    "free_clocks",
+    "unresolved",
+    "dependency_edges",
+)
+
+
+@dataclass
+class LinkedCompilationResult:
+    """The artifacts of a modular (unit-wise) compilation, after linking.
+
+    Surface-compatible with :class:`CompilationResult` everywhere the
+    service, store and daemon layers look (``program``, ``types``,
+    ``executable``/``executable_flat``, the source/tree/statistics
+    accessors), but built purely from cached unit records -- no BDD
+    operations happen at link time.  The clock hierarchy and dependency
+    graph of the whole program are never materialized; their statistics
+    and rendered texts are composed from the per-unit artifacts.
+    """
+
+    program: KernelProgram
+    types: Dict[str, SignalType]
+    units: list
+    unit_records: list
+    observable: bool = True
+    process: Optional[Process] = None
+    executable: Optional[CompiledProcess] = None
+    executable_flat: Optional[CompiledProcess] = None
+    _linked_irs: Dict[GenerationStyle, StepIR] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def unit_fingerprints(self) -> list:
+        return [unit.fingerprint() for unit in self.units]
+
+    def interpreter(self) -> KernelInterpreter:
+        """A fresh reference interpreter for the same (whole) program."""
+        return KernelInterpreter(self.program, self.types)
+
+    # -- linked IR and generated sources -------------------------------------
+    def _part(self, unit: ProgramUnit, record: dict, style: GenerationStyle) -> dict:
+        rename = unit.from_canonical
+        return {
+            "ir": record["ir"][style.value],
+            "rename": rename,
+            "class_ids": record["class_ids"],
+            "max_class_id": record["max_class_id"],
+            "signal_class": record["signal_class"],
+            "free_classes": record["free_classes"],
+            "types": {
+                rename.get(name, name): SignalType(value)
+                for name, value in record["types"].items()
+            },
+        }
+
+    def step_ir(self, style: GenerationStyle = GenerationStyle.HIERARCHICAL) -> StepIR:
+        ir = self._linked_irs.get(style)
+        if ir is None:
+            parts = [
+                self._part(unit, record, style)
+                for unit, record in zip(self.units, self.unit_records)
+            ]
+            ir = link_step_ir(
+                self.program.name, style, parts, self.program.inputs, self.program.outputs
+            )
+            self._linked_irs[style] = ir
+        return ir
+
+    def python_source(self, style: GenerationStyle = GenerationStyle.HIERARCHICAL) -> str:
+        return generate_python_source(self.step_ir(style))
+
+    def c_source(self, style: GenerationStyle = GenerationStyle.HIERARCHICAL) -> str:
+        return generate_c_source(self.step_ir(style))
+
+    def c_shared_source(self, style: GenerationStyle = GenerationStyle.HIERARCHICAL) -> str:
+        return generate_c_shared_source(self.step_ir(style))
+
+    # -- composed artifacts ---------------------------------------------------
+    def tree_text(self) -> str:
+        forests = []
+        free_names = []
+        for unit, record in zip(self.units, self.unit_records):
+            rename = unit.from_canonical
+            forest = rename_text(record["artifacts"]["forest"], rename)
+            if forest.strip():
+                forests.append(forest)
+            free_names.extend(
+                rename_text(name, rename) for name in record["artifacts"]["free"]
+            )
+        forest = "\n".join(forests)
+        free = ", ".join(free_names) if free_names else "(none)"
+        return f"{forest}\n\nfree clocks: {free}"
+
+    @property
+    def clock_system(self) -> _LinkedClockSystemText:
+        sections = []
+        for unit, record in zip(self.units, self.unit_records):
+            sections.append(
+                rename_text(record["artifacts"]["clocks"], unit.from_canonical)
+            )
+        return _LinkedClockSystemText("\n\n".join(sections))
+
+    def statistics(self) -> Dict[str, int]:
+        stats: Dict[str, int] = {key: 0 for key in _ADDITIVE_STATS}
+        forest_height = 0
+        for record in self.unit_records:
+            unit_stats = record["statistics"]
+            for key in _ADDITIVE_STATS:
+                stats[key] += unit_stats.get(key, 0)
+            forest_height = max(forest_height, unit_stats.get("forest_height", 0))
+        stats["forest_height"] = forest_height
+        stats["signals"] = len(self.program.signals)
+        stats["kernel_processes"] = len(self.program.processes)
+        stats["units"] = len(self.units)
+        return stats
+
+
+def _linked_executable(
+    result: LinkedCompilationResult, style: GenerationStyle, observable: bool
+) -> CompiledProcess:
+    ir = result.step_ir(style)
+    source = generate_python_source(ir, observable=observable)
+    instance = _instantiate_step(source, ir.name, observable)
+    return CompiledProcess(
+        name=ir.name,
+        style=style,
+        source=source,
+        ir=ir,
+        step_instance=instance,
+        inputs=list(ir.inputs),
+        outputs=list(ir.outputs),
+        root_flags=list(ir.root_flags),
+        types=dict(result.types),
+        observable=observable,
+    )
+
+
+def link_units(
+    program: KernelProgram,
+    units: list,
+    records: list,
+    style: GenerationStyle = GenerationStyle.HIERARCHICAL,
+    build_flat: bool = False,
+    observable: bool = True,
+    process: Optional[Process] = None,
+) -> LinkedCompilationResult:
+    """Compose cached unit records into an executable compilation result.
+
+    ``units`` and ``records`` are parallel lists (one record per unit, in
+    program order).  Linking renames every unit artifact from canonical to
+    actual names, shifts clock-class ids into disjoint ranges, recomputes
+    the root presence keys and defaults for the merged clock forest, and
+    instantiates the merged step exactly like a monolithic compile --
+    trace-equivalence of the two paths is what the differential fuzz suite
+    proves.
+    """
+    if len(units) != len(records):
+        raise ValueError(
+            f"link stage got {len(units)} units but {len(records)} records"
+        )
+    types: Dict[str, SignalType] = {}
+    for unit, record in zip(units, records):
+        rename = unit.from_canonical
+        for name, value in record["types"].items():
+            types[rename.get(name, name)] = SignalType(value)
+
+    result = LinkedCompilationResult(
+        program=program,
+        types=types,
+        units=list(units),
+        unit_records=list(records),
+        observable=observable,
+        process=process,
+    )
+    result.executable = _linked_executable(result, style, observable)
+    if build_flat:
+        result.executable_flat = _linked_executable(
+            result, GenerationStyle.FLAT, observable
+        )
+    return result
+
+
+def compile_modular_source(
+    source: str,
+    style: GenerationStyle = GenerationStyle.HIERARCHICAL,
+    build_flat: bool = False,
+    observable: bool = True,
+    manager: Optional[BDDManager] = None,
+) -> LinkedCompilationResult:
+    """Compile SIGNAL source unit-by-unit and link (no caching involved).
+
+    The uncached counterpart of
+    :meth:`repro.service.CompilationService.compile_modular`, useful for
+    tests and one-off comparisons: split, compile every unit, link.
+    """
+    process = parse_process(source)
+    program = normalize(process)
+    units = split_units(program)
+    records = [compile_unit_record(unit, manager=manager) for unit in units]
+    return link_units(
+        program,
+        units,
+        records,
+        style=style,
+        build_flat=build_flat,
+        observable=observable,
+        process=process,
     )

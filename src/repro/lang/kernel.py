@@ -49,6 +49,9 @@ __all__ = [
     "KernelProcess",
     "KernelProgram",
     "normalize",
+    "rename_operand",
+    "rename_process",
+    "rename_program",
 ]
 
 
@@ -228,6 +231,66 @@ class KernelProgram:
             cached = hashlib.sha256(self.canonical_form().encode("utf-8")).hexdigest()
             self.__dict__["_fingerprint"] = cached
         return cached
+
+
+def rename_operand(operand: Operand, mapping: Dict[str, str]) -> Operand:
+    """Rename a kernel operand: signals are mapped, literals pass through."""
+    if isinstance(operand, str):
+        return mapping.get(operand, operand)
+    return operand
+
+
+def rename_process(process: KernelProcess, mapping: Dict[str, str]) -> KernelProcess:
+    """Rename every signal occurrence of one kernel process."""
+    if isinstance(process, KernelFunction):
+        return KernelFunction(
+            mapping.get(process.target, process.target),
+            process.operator,
+            tuple(rename_operand(op, mapping) for op in process.operands),
+        )
+    if isinstance(process, KernelDelay):
+        return KernelDelay(
+            mapping.get(process.target, process.target),
+            mapping.get(process.source, process.source),
+            process.initial,
+        )
+    if isinstance(process, KernelWhen):
+        return KernelWhen(
+            mapping.get(process.target, process.target),
+            rename_operand(process.source, mapping),
+            mapping.get(process.condition, process.condition),
+        )
+    if isinstance(process, KernelDefault):
+        return KernelDefault(
+            mapping.get(process.target, process.target),
+            rename_operand(process.left, mapping),
+            rename_operand(process.right, mapping),
+        )
+    if isinstance(process, KernelSynchro):
+        return KernelSynchro(tuple(mapping.get(s, s) for s in process.signals))
+    raise TypeError_(f"unsupported kernel process {process!r}")
+
+
+def rename_program(
+    program: KernelProgram, mapping: Dict[str, str], name: Optional[str] = None
+) -> KernelProgram:
+    """A copy of ``program`` with every signal renamed through ``mapping``.
+
+    Names absent from the mapping are kept.  The mapping must be injective
+    on the program's signals (the caller guarantees it); declaration order,
+    process order and declared types are preserved, so renaming commutes
+    with :meth:`KernelProgram.canonical_form` modulo the names themselves.
+    """
+    return KernelProgram(
+        name=name if name is not None else program.name,
+        inputs=[mapping.get(s, s) for s in program.inputs],
+        outputs=[mapping.get(s, s) for s in program.outputs],
+        locals=[mapping.get(s, s) for s in program.locals],
+        declared_types={
+            mapping.get(s, s): t for s, t in program.declared_types.items()
+        },
+        processes=[rename_process(p, mapping) for p in program.processes],
+    )
 
 
 class _Normalizer:

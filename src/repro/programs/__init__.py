@@ -16,8 +16,23 @@
 
 from .alarm import ALARM_SOURCE, SIMPLE_ALARM_SOURCE
 from .basics import COUNTER_SOURCE, ACCUMULATOR_SOURCE, WATCHDOG_SOURCE
-from .generators import ControlProgramSpec, generate_control_program
-from .suite import BENCHMARK_PROGRAMS, benchmark_names, benchmark_source, paper_reference
+from .generators import (
+    ControlProgramSpec,
+    FleetSpec,
+    fleet_member_modules,
+    generate_control_program,
+    generate_fleet,
+    generate_fleet_member,
+    library_module_source,
+)
+from .suite import (
+    BENCHMARK_PROGRAMS,
+    DEFAULT_FLEET_SPEC,
+    benchmark_names,
+    benchmark_source,
+    fleet_sources,
+    paper_reference,
+)
 
 __all__ = [
     "ALARM_SOURCE",
@@ -27,8 +42,15 @@ __all__ = [
     "WATCHDOG_SOURCE",
     "ControlProgramSpec",
     "generate_control_program",
+    "FleetSpec",
+    "fleet_member_modules",
+    "generate_fleet",
+    "generate_fleet_member",
+    "library_module_source",
     "BENCHMARK_PROGRAMS",
     "benchmark_names",
     "benchmark_source",
     "paper_reference",
+    "DEFAULT_FLEET_SPEC",
+    "fleet_sources",
 ]

@@ -27,10 +27,19 @@ choosing the module count (see :mod:`repro.programs.suite`).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import List, Optional
 
-__all__ = ["ControlProgramSpec", "generate_control_program"]
+__all__ = [
+    "ControlProgramSpec",
+    "generate_control_program",
+    "FleetSpec",
+    "fleet_member_modules",
+    "generate_fleet",
+    "generate_fleet_member",
+    "library_module_source",
+]
 
 
 @dataclass(frozen=True)
@@ -196,3 +205,212 @@ def generate_control_program(spec: ControlProgramSpec) -> str:
     lines.append("  where " + " ".join(declaration_block(local_booleans, local_integers)))
     lines.append("end;")
     return "\n".join(lines)
+
+
+# -- shared-module fleets ----------------------------------------------------
+#
+# Modular compilation is only interesting when *different* programs embed the
+# *same* module.  A fleet is a family of programs assembled from a common
+# module library: every member carries a core of ``shared_units`` library
+# modules plus member-specific ones, so compiling the fleet modularly reuses
+# the core's unit artifacts across members.  Signals are named by the
+# module's *position inside the member* (not by its library index), so the
+# same library module appears under different signal names in different
+# members -- exactly the situation unit-fingerprint canonicalization must
+# see through.
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Parameters of a fleet of programs sharing a module library.
+
+    Attributes
+    ----------
+    name:
+        Prefix of the member process names (member ``i`` is ``{name}{i}``).
+    programs:
+        Number of fleet members (at least 1).
+    library_size:
+        Number of modules in the shared library.  Library modules are
+        pairwise shape-distinct (different sensor counts, thresholds and
+        filter divisors), so no two library modules canonicalize to the
+        same unit fingerprint.
+    units_per_program:
+        Number of library modules embedded in each member.  Each module is
+        a self-contained connected component, so this is exactly the
+        member's unit count.
+    shared_units:
+        Size of the shared core: the first ``shared_units`` modules of the
+        (seed-shuffled) library appear in *every* member.  The remaining
+        ``units_per_program - shared_units`` modules of each member are
+        assigned round-robin from the rest of the library.
+    seed:
+        Seed of the library shuffle; the same spec always generates the
+        same fleet.
+    """
+
+    name: str = "FLEET"
+    programs: int = 4
+    library_size: int = 6
+    units_per_program: int = 3
+    shared_units: int = 2
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.programs < 1:
+            raise ValueError("a fleet needs at least one program")
+        if self.units_per_program < 1:
+            raise ValueError("fleet members need at least one unit")
+        if not 0 <= self.shared_units <= self.units_per_program:
+            raise ValueError("shared_units must be between 0 and units_per_program")
+        if self.library_size < self.units_per_program:
+            raise ValueError(
+                "library_size must be at least units_per_program "
+                "(a member embeds distinct library modules)"
+            )
+
+
+def _module_sensors(module_index: int) -> int:
+    return 1 + module_index % 3
+
+
+def _library_module_lines(module_index: int, position: int) -> List[str]:
+    """The equations of library module ``module_index`` at ``position``.
+
+    Signal names use the *position* suffix; the library index only shapes
+    the module (sensor count, alarm threshold, filter divisor), keeping all
+    library modules pairwise shape-distinct.
+    """
+    p = position
+    sensors = _module_sensors(module_index)
+    threshold = 100 + module_index
+    divisor = 2 + module_index % 4
+    lines = [
+        f"MODE_{p} := NMODE_{p} $ 1 init false",
+        f"NMODE_{p} := (true when START_{p}) default (false when STOP_{p}) default MODE_{p}",
+        f"synchro {{ when (not MODE_{p}), START_{p} }}",
+        "synchro { when MODE_" + str(p) + ", "
+        + ", ".join([f"STOP_{p}"] + [f"S_{p}_{j}" for j in range(sensors)] + [f"V_{p}"])
+        + " }",
+    ]
+    if sensors >= 2:
+        alarm = f"S_{p}_0 and (not S_{p}_1)"
+        for j in range(2, sensors):
+            alarm = f"({alarm}) or S_{p}_{j}"
+    else:
+        alarm = f"S_{p}_0"
+    lines += [
+        f"ALR_{p} := ({alarm}) or (CNT_{p} >= {threshold})",
+        f"CNT_{p} := (0 when S_{p}_0) default (ZCNT_{p} + 1)",
+        f"ZCNT_{p} := CNT_{p} $ 1 init 0",
+        f"synchro {{ CNT_{p}, S_{p}_0 }}",
+        f"FLT_{p} := (V_{p} + ZFLT_{p}) / {divisor}",
+        f"ZFLT_{p} := FLT_{p} $ 1 init 0",
+    ]
+    return lines
+
+
+def _module_declarations(module_index: int, position: int):
+    """(input booleans, input integers, output booleans, output integers,
+    local booleans, local integers) of one embedded module."""
+    p = position
+    sensors = _module_sensors(module_index)
+    return (
+        [f"START_{p}", f"STOP_{p}"] + [f"S_{p}_{j}" for j in range(sensors)],
+        [f"V_{p}"],
+        [f"ALR_{p}"],
+        [f"FLT_{p}"],
+        [f"MODE_{p}", f"NMODE_{p}"],
+        [f"CNT_{p}", f"ZCNT_{p}", f"ZFLT_{p}"],
+    )
+
+
+def _assemble_program(
+    name: str, modules: List[int], positions: Optional[List[int]] = None
+) -> str:
+    if positions is None:
+        positions = list(range(len(modules)))
+    input_booleans: List[str] = []
+    input_integers: List[str] = []
+    output_booleans: List[str] = []
+    output_integers: List[str] = []
+    local_booleans: List[str] = []
+    local_integers: List[str] = []
+    equations: List[str] = []
+    for position, module_index in zip(positions, modules):
+        ib, ii, ob, oi, lb, li = _module_declarations(module_index, position)
+        input_booleans += ib
+        input_integers += ii
+        output_booleans += ob
+        output_integers += oi
+        local_booleans += lb
+        local_integers += li
+        equations += _library_module_lines(module_index, position)
+
+    def block(booleans: List[str], integers: List[str]) -> str:
+        parts = []
+        if booleans:
+            parts.append("boolean " + ", ".join(booleans) + ";")
+        if integers:
+            parts.append("integer " + ", ".join(integers) + ";")
+        return " ".join(parts)
+
+    return "\n".join(
+        [
+            f"process {name} =",
+            "  ( ? " + block(input_booleans, input_integers),
+            "    ! " + block(output_booleans, output_integers) + " )",
+            "  (| " + "\n   | ".join(equations),
+            "   |)",
+            "  where " + block(local_booleans, local_integers),
+            "end;",
+        ]
+    )
+
+
+def library_module_source(module_index: int, position: int = 0, name: Optional[str] = None) -> str:
+    """A standalone program embedding exactly one library module.
+
+    ``position`` picks the signal-name suffix, so two calls with different
+    positions produce alpha-variants of the same module -- they must
+    canonicalize to the same unit fingerprint.
+    """
+    return _assemble_program(
+        name or f"MOD{module_index}", [module_index], positions=[position]
+    )
+
+
+def fleet_member_modules(spec: FleetSpec) -> List[List[int]]:
+    """The library indices each fleet member embeds, in member order.
+
+    This is the accounting ground truth for cache tests: compiling member
+    ``i`` after members ``0..i-1`` must perform exactly
+    ``len(set(modules[i]) - union(modules[:i]))`` unit compiles.
+    """
+    spec.validate()
+    order = list(range(spec.library_size))
+    random.Random(spec.seed).shuffle(order)
+    core = order[: spec.shared_units]
+    pool = order[spec.shared_units :]
+    specific = spec.units_per_program - spec.shared_units
+    members: List[List[int]] = []
+    for i in range(spec.programs):
+        extra = [pool[(i * specific + j) % len(pool)] for j in range(specific)] if specific else []
+        members.append(core + extra)
+    return members
+
+
+def generate_fleet_member(spec: FleetSpec, index: int) -> str:
+    """The SIGNAL source of fleet member ``index``."""
+    modules = fleet_member_modules(spec)
+    if not 0 <= index < len(modules):
+        raise IndexError(f"fleet {spec.name} has {len(modules)} members")
+    return _assemble_program(f"{spec.name}{index}", modules[index])
+
+
+def generate_fleet(spec: FleetSpec) -> List[str]:
+    """The SIGNAL sources of every fleet member, in member order."""
+    return [
+        _assemble_program(f"{spec.name}{i}", modules)
+        for i, modules in enumerate(fleet_member_modules(spec))
+    ]

@@ -24,9 +24,23 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from .generators import ControlProgramSpec, generate_control_program
+from .generators import (
+    ControlProgramSpec,
+    FleetSpec,
+    fleet_member_modules,
+    generate_control_program,
+    generate_fleet,
+)
 
-__all__ = ["BENCHMARK_PROGRAMS", "PAPER_FIGURE_13", "benchmark_names", "benchmark_source", "paper_reference"]
+__all__ = [
+    "BENCHMARK_PROGRAMS",
+    "PAPER_FIGURE_13",
+    "benchmark_names",
+    "benchmark_source",
+    "paper_reference",
+    "DEFAULT_FLEET_SPEC",
+    "fleet_sources",
+]
 
 
 #: Generator parameters per Figure 13 program, ordered as in the paper.
@@ -117,3 +131,24 @@ def benchmark_source(name: str) -> str:
 def paper_reference(name: str) -> Dict[str, object]:
     """The Figure 13 numbers reported by the paper for one program."""
     return dict(PAPER_FIGURE_13[name])
+
+
+#: The reference shared-module fleet used by the modular-compilation tests
+#: and benchmarks: every member embeds the same 2-module core plus one
+#: member-specific module, so a modular compile of the whole fleet performs
+#: far fewer unit compiles than ``programs * units_per_program``.
+DEFAULT_FLEET_SPEC = FleetSpec(
+    name="FLEET",
+    programs=4,
+    library_size=6,
+    units_per_program=3,
+    shared_units=2,
+    seed=7,
+)
+
+
+def fleet_sources(spec: FleetSpec = DEFAULT_FLEET_SPEC) -> List[str]:
+    """The member sources of a shared-module fleet (default: the reference
+    fleet).  ``fleet_member_modules(spec)`` gives the per-member library
+    indices, the accounting ground truth for unit-cache tests."""
+    return generate_fleet(spec)

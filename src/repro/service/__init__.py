@@ -27,12 +27,14 @@ from .daemon import PROTOCOL_VERSION, CompilationDaemon, ThreadedDaemon
 from .federation import BackendState, CompileGateway, HashRing, parse_backend_spec
 from .service import WORKER_MODES, CompilationService
 from .store import (
+    UNIT_STYLE,
     CompileStore,
     executable_from_record,
     key_from_record,
     record_from_result,
     store_key,
     types_from_record,
+    unit_store_key,
 )
 
 __all__ = [
@@ -51,6 +53,8 @@ __all__ = [
     "types_from_record",
     "store_key",
     "key_from_record",
+    "unit_store_key",
+    "UNIT_STYLE",
     "RemoteCompiler",
     "RemoteError",
     "RemoteResult",

@@ -99,6 +99,7 @@ from .store import (
     key_from_record,
     record_from_result,
     store_key,
+    unit_store_key,
     types_from_record,
 )
 
@@ -229,11 +230,19 @@ class CompilationDaemon:
         style: GenerationStyle = GenerationStyle.HIERARCHICAL,
         build_flat: bool = False,
         observable: bool = True,
+        modular: bool = False,
     ) -> Tuple[Dict[str, object], str]:
         """Compile (or fetch) the artifact record for one source.
 
         Returns ``(record, origin)`` where origin is ``"memory"``,
         ``"store"`` or ``"compiled"``.
+
+        ``modular`` changes only how a *miss* compiles: unit-by-unit
+        against the service's unit cache and the daemon's store (which
+        gains per-unit records any fleet member can ``store-get``).  The
+        record tiers stay keyed by the whole-program fingerprint -- a
+        monolithic record answers a modular request for the same program
+        and vice versa, because both paths render equivalent artifacts.
 
         Thread-safe without a global compile lock: the record/digest LRUs
         and the store synchronize themselves, so ``jobs`` request threads
@@ -285,6 +294,22 @@ class CompilationDaemon:
                 build_flat=build_flat,
                 observable=observable,
                 jobs=self._jobs,
+                modular=modular,
+            )
+        elif modular:
+            if process is None:
+                process = parse_process(source)
+                program = normalize(process)
+            linked = self.service.compile_modular(
+                process=process,
+                style=style,
+                build_flat=build_flat,
+                observable=observable,
+                program=program,
+                store=self.store,  # None falls back to the service's own
+            )
+            record = record_from_result(
+                linked, style, build_flat=build_flat, observable=observable
             )
         else:
             if process is None:
@@ -494,10 +519,20 @@ class CompilationDaemon:
         )
 
     def _store_request_key(self, request: Dict[str, object]):
-        """Build the cache key a ``store-get`` request names."""
+        """Build the cache key a ``store-get`` request names.
+
+        ``kind: "unit"`` addresses a per-unit artifact record by its unit
+        fingerprint (modular compilation); the default kind ``"program"``
+        keeps the historical whole-program addressing.
+        """
         fingerprint = request.get("fingerprint")
         if not isinstance(fingerprint, str) or not fingerprint:
             raise _RequestError("field 'fingerprint' must be a non-empty string")
+        kind = _field(request, "kind", str, "program")
+        if kind == "unit":
+            return unit_store_key(fingerprint)
+        if kind != "program":
+            raise _RequestError("field 'kind' must be 'program' or 'unit'")
         style_name = _field(request, "style", str, GenerationStyle.HIERARCHICAL.value)
         try:
             style = GenerationStyle(style_name)
@@ -593,6 +628,7 @@ class CompilationDaemon:
             ) from None
         build_flat = _field(request, "build_flat", bool, False)
         observable = _field(request, "observable", bool, True)
+        modular = _field(request, "modular", bool, False)
         simulate = _field(request, "simulate", int, 0)
         seed = _field(request, "seed", int, 0)
         emit = request.get("emit", [])
@@ -603,7 +639,8 @@ class CompilationDaemon:
             raise _RequestError(f"unknown emit kind(s) {unknown}; expected {list(EMIT_KINDS)}")
 
         record, origin = self.compile_record(
-            source, style=style, build_flat=build_flat, observable=observable
+            source, style=style, build_flat=build_flat, observable=observable,
+            modular=modular,
         )
         response: Dict[str, object] = {
             "ok": True,
@@ -613,6 +650,8 @@ class CompilationDaemon:
             "origin": origin,
             "statistics": record["statistics"],
         }
+        if modular:
+            response["modular"] = True
         if emit:
             artifacts = dict(record["artifacts"])
             artifacts["stats"] = record["statistics"]

@@ -111,12 +111,19 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..bdd import BDDManager, ScopedBDDManager
 from ..codegen.ir import GenerationStyle
-from ..compiler import CompilationResult, compile_process
+from ..compiler import (
+    CompilationResult,
+    LinkedCompilationResult,
+    compile_process,
+    compile_unit_record,
+    link_units,
+)
 from ..lang.ast import Process
 from ..lang.kernel import KernelProgram, normalize
 from ..lang.parser import parse_process
+from ..lang.units import split_units
 from .cache import LRUCache, shard_for_fingerprint, source_digest
-from .store import CompileStore, record_from_result, store_key
+from .store import CompileStore, record_from_result, store_key, unit_store_key
 
 __all__ = ["CompilationService", "WORKER_MODES"]
 
@@ -125,6 +132,11 @@ _CacheKey = Tuple[str, GenerationStyle, bool, bool]
 
 #: accepted values of the ``workers=`` argument of :meth:`compile_batch`
 WORKER_MODES = ("threads", "processes")
+
+#: scope-namespace prefix for per-unit compilations; unit fingerprints are
+#: hex digests, so the prefix keeps them disjoint from whole-program
+#: fingerprint namespaces on the same shard manager
+_UNIT_SCOPE_PREFIX = "unit:"
 
 #: shared no-op guard for worker-manager slots (nullcontext is stateless)
 _NO_LOCK = contextlib.nullcontext()
@@ -178,7 +190,7 @@ def _worker_store(path: Optional[str]) -> Optional[CompileStore]:
 
 
 def _process_worker_record(
-    payload: Tuple[str, str, bool, bool, Optional[str]]
+    payload: Tuple[str, str, bool, bool, Optional[str], bool]
 ) -> Dict[str, object]:
     """Compile one source in a worker process; return its artifact record.
 
@@ -197,9 +209,17 @@ def _process_worker_record(
     global _WORKER_SERVICE
     if _WORKER_SERVICE is None:
         _WORKER_SERVICE = CompilationService(max_entries=64)
-    source, style_value, build_flat, observable, store_path = payload
+    source, style_value, build_flat, observable, store_path, modular = payload
     style = GenerationStyle(style_value)
     store = _worker_store(store_path)
+    if modular:
+        # Modular compiles share at unit granularity: the worker's private
+        # unit LRU plus the parent's disk store (probed and written back
+        # per unit inside compile_modular) replace the whole-program probe.
+        return _WORKER_SERVICE.compile_modular_record(
+            source, style=style, build_flat=build_flat, observable=observable,
+            store=store,
+        )
     if store is None:
         result = _WORKER_SERVICE.compile(
             source, style=style, build_flat=build_flat, observable=observable
@@ -270,6 +290,7 @@ class CompilationService:
         max_pool_nodes: Optional[int] = None,
         shards: int = 1,
         store: Optional[Union[CompileStore, str, os.PathLike]] = None,
+        max_unit_entries: Optional[int] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -290,6 +311,15 @@ class CompilationService:
         self._results: LRUCache[CompilationResult] = LRUCache(
             max_entries, on_evict=self._on_result_evicted
         )
+        # Per-unit artifact records (modular compilation), keyed by unit
+        # fingerprint.  Units are small next to whole results, and one
+        # program holds several, so the default capacity is a multiple of
+        # the result cache's.
+        if max_unit_entries is None:
+            max_unit_entries = max(max_entries * 4, 16)
+        self._unit_records: LRUCache[Dict[str, object]] = LRUCache(
+            max_unit_entries, on_evict=self._on_unit_evicted
+        )
         # Source-text digest -> kernel fingerprint (exact-repeat fast path).
         self._source_fingerprints: LRUCache[str] = LRUCache(max(max_entries * 4, 16))
         # (manager identity, namespace) -> scope; managers are kept alive for
@@ -307,6 +337,12 @@ class CompilationService:
         self._requests = 0
         self._worker_recycles = 0
         self._process_records = 0
+        # Modular (unit-granularity) counters.
+        self._modular_requests = 0
+        self._unit_hits = 0
+        self._unit_misses = 0
+        self._unit_store_hits = 0
+        self._links = 0
 
     # -- shard routing -------------------------------------------------------
     @property
@@ -373,6 +409,26 @@ class CompilationService:
 
     def _on_result_evicted(self, key, value) -> None:
         self._release_orphan_scopes(key[0])
+
+    def _release_unit_scopes(self, fingerprint: str) -> None:
+        """Drop a unit's compile scopes when its record is no longer cached.
+
+        Mirrors :meth:`_release_orphan_scopes` at unit granularity: a unit
+        whose artifact record lives in the unit LRU keeps its scope (a
+        recompile after watermark recycling finds its variables again);
+        once the record is gone -- evicted, or never stored because the
+        unit failed to compile mid-link -- the scope must go too.
+        """
+        if self._unit_records.peek(fingerprint) is not None:
+            return
+        namespace = _UNIT_SCOPE_PREFIX + fingerprint
+        with self._lock:
+            stale = [k for k in self._scopes if k[1] == namespace]
+            for scope_key in stale:
+                self._scopes.pop(scope_key).encoding_cache.clear()
+
+    def _on_unit_evicted(self, fingerprint, record) -> None:
+        self._release_unit_scopes(fingerprint)
 
     def _compile_program(
         self,
@@ -560,6 +616,125 @@ class CompilationService:
             result, style, build_flat=build_flat, observable=observable
         )
 
+    # -- modular compilation -------------------------------------------------
+    def _unit_record_for(self, unit, store: Optional[CompileStore]) -> Dict[str, object]:
+        """The artifact record of one unit: memory LRU, disk store, or compile.
+
+        A genuine compile runs on the shard the *unit* fingerprint routes
+        to (under that shard's lock, in a ``unit:``-prefixed scope) and is
+        spilled to the store best-effort, so any daemon or worker process
+        sharing the directory warms at module granularity.
+        """
+        fingerprint = unit.fingerprint()
+        record = self._unit_records.get(fingerprint)
+        if record is not None:
+            with self._lock:
+                self._unit_hits += 1
+            return record
+        if store is not None:
+            record = store.get(unit_store_key(fingerprint))
+            if record is not None:
+                with self._lock:
+                    self._unit_store_hits += 1
+                self._unit_records.put(fingerprint, record)
+                return record
+        shard = self._shard_for(fingerprint)
+        try:
+            with shard.lock:
+                scope = self._scope_for(shard.manager, _UNIT_SCOPE_PREFIX + fingerprint)
+                record = compile_unit_record(unit, manager=scope)
+        except BaseException:
+            # A unit that fails to compile caches no record; its scope must
+            # not outlive the failure (the mid-link scope-release invariant
+            # tests/test_modular.py checks).  Units compiled earlier for the
+            # same program keep theirs -- their records are cached and
+            # reusable by the next program.
+            self._release_unit_scopes(fingerprint)
+            raise
+        with self._lock:
+            self._unit_misses += 1
+        self._unit_records.put(fingerprint, record)
+        if store is not None:
+            try:
+                store.put(unit_store_key(fingerprint), record)
+            except OSError:
+                pass  # best-effort spill, as for whole-program records
+        self._maybe_recycle_shard(shard)
+        return record
+
+    def compile_modular(
+        self,
+        source: Optional[str] = None,
+        process: Optional[Process] = None,
+        style: GenerationStyle = GenerationStyle.HIERARCHICAL,
+        build_flat: bool = False,
+        observable: bool = True,
+        program: Optional[KernelProgram] = None,
+        store: Optional[CompileStore] = None,
+    ) -> LinkedCompilationResult:
+        """Compile unit-by-unit against the unit cache, then link.
+
+        The program is split into canonical units
+        (:func:`repro.lang.units.split_units`); each unit's artifacts come
+        from the in-memory unit LRU, the disk store (``store=`` overrides
+        the service's own), or a genuine per-unit compile on the unit's
+        shard.  The link stage then composes them into a
+        :class:`~repro.compiler.LinkedCompilationResult` that is
+        trace-equivalent to the monolithic :meth:`compile` of the same
+        source.  Linked results are deliberately *not* cached: linking is
+        BDD-free and cheap, and keeping only unit-granularity entries is
+        what lets two programs sharing k of n modules share k cache hits.
+        """
+        if source is None and process is None:
+            raise ValueError("compile_modular needs source= or process=")
+        with self._lock:
+            self._requests += 1
+            self._modular_requests += 1
+        if process is None:
+            process = parse_process(source)
+        if program is None:
+            program = normalize(process)
+        if store is None:
+            store = self.store
+        units = split_units(program)
+        records = [self._unit_record_for(unit, store) for unit in units]
+        linked = link_units(
+            program,
+            units,
+            records,
+            style=style,
+            build_flat=build_flat,
+            observable=observable,
+            process=process,
+        )
+        with self._lock:
+            self._links += 1
+        return linked
+
+    def compile_modular_record(
+        self,
+        source: str,
+        style: GenerationStyle = GenerationStyle.HIERARCHICAL,
+        build_flat: bool = False,
+        observable: bool = True,
+        store: Optional[CompileStore] = None,
+    ) -> Dict[str, object]:
+        """Modular compile rendered as a whole-program artifact record.
+
+        The record has the exact shape of :meth:`compile_record`'s (kind
+        ``"program"``, keyed by the *whole-program* fingerprint): consumers
+        of records never see whether the miss path was monolithic or
+        modular, which is what lets the daemon's record tiers stay keyed as
+        before.
+        """
+        linked = self.compile_modular(
+            source, style=style, build_flat=build_flat, observable=observable,
+            store=store,
+        )
+        return record_from_result(
+            linked, style, build_flat=build_flat, observable=observable
+        )
+
     def compile_batch(
         self,
         sources: Iterable[str],
@@ -568,8 +743,17 @@ class CompilationService:
         build_flat: bool = False,
         observable: bool = True,
         workers: str = "threads",
+        modular: bool = False,
     ):
         """Compile many sources with ``jobs`` worker threads or processes.
+
+        With ``modular=True`` every source goes through
+        :meth:`compile_modular`: thread batches return linked results
+        (misses compile per unit on the pool shards, so sources sharing
+        modules share cache entries even within one batch), process
+        batches return whole-program artifact records whose misses were
+        compiled unit-wise in the workers (sharing through the parent's
+        disk store when one is configured).
 
         Results come back in input order.  The two backends differ in what
         they can return:
@@ -604,8 +788,26 @@ class CompilationService:
         source_list = list(sources)
         if workers == "processes":
             return self._compile_batch_processes(
-                source_list, jobs, style, build_flat, observable
+                source_list, jobs, style, build_flat, observable, modular
             )
+        if modular:
+            if jobs <= 1:
+                return [
+                    self.compile_modular(
+                        s, style=style, build_flat=build_flat, observable=observable
+                    )
+                    for s in source_list
+                ]
+
+            def work_modular(source: str) -> LinkedCompilationResult:
+                # Unit misses serialize on their shard locks, so modular
+                # thread batches need no worker-manager checkout.
+                return self.compile_modular(
+                    source, style=style, build_flat=build_flat, observable=observable
+                )
+
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                return list(pool.map(work_modular, source_list))
         if jobs <= 1:
             return [
                 self.compile(s, style=style, build_flat=build_flat, observable=observable)
@@ -643,6 +845,7 @@ class CompilationService:
         build_flat: bool = False,
         observable: bool = True,
         workers: str = "threads",
+        modular: bool = False,
     ) -> List[Dict[str, object]]:
         """Like :meth:`compile_batch`, but always return artifact records.
 
@@ -654,11 +857,11 @@ class CompilationService:
         source_list = list(sources)
         if workers == "processes":
             return self._compile_batch_processes(
-                source_list, jobs, style, build_flat, observable
+                source_list, jobs, style, build_flat, observable, modular
             )
         results = self.compile_batch(
             source_list, jobs=jobs, style=style, build_flat=build_flat,
-            observable=observable, workers=workers,
+            observable=observable, workers=workers, modular=modular,
         )
         return [
             record_from_result(r, style, build_flat=build_flat, observable=observable)
@@ -673,9 +876,11 @@ class CompilationService:
         style: GenerationStyle,
         build_flat: bool,
         observable: bool,
+        modular: bool = False,
     ) -> List[Dict[str, object]]:
         payloads = [
-            (source, style.value, bool(build_flat), bool(observable), self._store_path)
+            (source, style.value, bool(build_flat), bool(observable),
+             self._store_path, bool(modular))
             for source in source_list
         ]
         with self._borrow_process_pool(max(jobs, 1)) as pool:
@@ -705,19 +910,22 @@ class CompilationService:
         build_flat: bool = False,
         observable: bool = True,
         jobs: int = 1,
+        modular: bool = False,
     ) -> Dict[str, object]:
         """Compile one source on the process pool; return its artifact record.
 
         The daemon's parallel compile tier: ``K`` request threads each park
         here while their compilation runs in a worker process, so ``K``
         compilations proceed on ``K`` cores instead of serializing on the
-        GIL.  ``jobs`` sizes (and can grow) the shared pool.
+        GIL.  ``jobs`` sizes (and can grow) the shared pool.  ``modular``
+        makes the worker compile unit-by-unit (warming, and warmed by, the
+        parent's disk store at unit granularity).
         """
         with self._borrow_process_pool(max(jobs, 1)) as pool:
             record = pool.submit(
                 _process_worker_record,
                 (source, style.value, bool(build_flat), bool(observable),
-                 self._store_path),
+                 self._store_path, bool(modular)),
             ).result()
         with self._lock:
             self._requests += 1
@@ -836,6 +1044,7 @@ class CompilationService:
     def clear_cache(self) -> None:
         """Drop cached results and scopes (interned pooled BDDs are kept)."""
         self._results.clear()
+        self._unit_records.clear()
         self._source_fingerprints.clear()
         with self._lock:
             for scope in self._scopes.values():
@@ -884,6 +1093,11 @@ class CompilationService:
             worker_recycles = self._worker_recycles
             process_records = self._process_records
             process_workers = self._process_jobs
+            modular_requests = self._modular_requests
+            unit_hits = self._unit_hits
+            unit_misses = self._unit_misses
+            unit_store_hits = self._unit_store_hits
+            links = self._links
         stats = {
             "requests": requests,
             "cache_entries": len(self._results),
@@ -902,6 +1116,13 @@ class CompilationService:
             "worker_recycles": worker_recycles,
             "process_pool_workers": process_workers,
             "process_records": process_records,
+            "modular_requests": modular_requests,
+            "unit_cache_entries": len(self._unit_records),
+            "unit_cache_max_entries": self._unit_records.max_entries,
+            "unit_hits": unit_hits,
+            "unit_misses": unit_misses,
+            "unit_store_hits": unit_store_hits,
+            "links": links,
         }
         stats.update(
             {f"cache_{name}": value for name, value in self._results.stats.as_dict().items()}

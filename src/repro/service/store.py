@@ -49,8 +49,10 @@ if TYPE_CHECKING:  # avoid a circular import at runtime
 
 __all__ = [
     "STORE_FORMAT",
+    "UNIT_STYLE",
     "CompileStore",
     "store_key",
+    "unit_store_key",
     "key_from_record",
     "record_from_result",
     "executable_from_record",
@@ -59,8 +61,18 @@ __all__ = [
 
 #: version tag of the on-disk record layout; bump on incompatible changes
 #: (2: added the ``c_shared`` artifact -- the reentrant columnar C source
-#: that the mass-simulation runtime builds with ``cc -shared``)
-STORE_FORMAT = 2
+#: that the mass-simulation runtime builds with ``cc -shared``;
+#: 3: records self-describe their ``kind`` -- whole-program artifact
+#: records (``"program"``) now coexist with per-unit artifact records
+#: (``"unit"``, modular compilation).  Format-1/2 entries found in a store
+#: directory are quarantined on read: reported as misses, counted in
+#: ``invalid`` and unlinked, never parsed for artifacts.)
+STORE_FORMAT = 3
+
+#: the pseudo-style under which per-unit artifact records are keyed; unit
+#: records are style-independent (they carry the IR of *both* generation
+#: styles), so the style slot of the key is this constant instead
+UNIT_STYLE = "unit"
 
 #: store key: (kernel fingerprint, style value, build_flat, observable)
 StoreKey = Tuple[str, str, bool, bool]
@@ -79,6 +91,19 @@ def store_key(
     code-generation options that change the produced artifacts.
     """
     return (fingerprint, style.value, bool(build_flat), bool(observable))
+
+
+def unit_store_key(fingerprint: str) -> StoreKey:
+    """The persistent identity of one per-unit artifact record.
+
+    Unit records are keyed by the unit fingerprint alone: they carry both
+    generation styles and are always observable-neutral, so the remaining
+    key slots are fixed.  The ``UNIT_STYLE`` marker keeps unit and
+    whole-program entries in disjoint key spaces even though they share a
+    store directory (unit fingerprints are additionally versioned, see
+    :data:`repro.lang.units.UNIT_FINGERPRINT_VERSION`).
+    """
+    return (fingerprint, UNIT_STYLE, False, True)
 
 
 def _executable_record(executable: CompiledProcess) -> Dict[str, object]:
@@ -102,6 +127,7 @@ def record_from_result(
     """Serialize a compilation result into a JSON-safe artifact record."""
     record: Dict[str, object] = {
         "format": STORE_FORMAT,
+        "kind": "program",
         "fingerprint": result.program.fingerprint(),
         "style": style.value,
         "build_flat": bool(build_flat),
@@ -145,6 +171,15 @@ def key_from_record(record: Dict[str, object]) -> StoreKey:
     fingerprint = record.get("fingerprint")
     if not isinstance(fingerprint, str) or not fingerprint:
         raise ValueError("record carries no kernel fingerprint")
+    kind = record.get("kind", "program")
+    if kind == "unit":
+        if record.get("style") != UNIT_STYLE:
+            raise ValueError(
+                f"unit record carries style {record.get('style')!r} instead of {UNIT_STYLE!r}"
+            )
+        return unit_store_key(fingerprint)
+    if kind != "program":
+        raise ValueError(f"record carries unknown kind {kind!r}")
     try:
         style = GenerationStyle(record.get("style"))
     except ValueError:

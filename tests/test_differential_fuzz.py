@@ -28,7 +28,9 @@ Environment knobs (used by the CI parallel matrix entry):
 * ``REPRO_FUZZ_PROCESS_JOBS`` -- worker processes for the batch pass
   (default 2, CI also runs 4);
 * ``REPRO_FUZZ_C_STRIDE`` -- seed stride of the loaded-C pass (default 4:
-  every fourth seed; CI runs 1 = the whole corpus).
+  every fourth seed; CI runs 1 = the whole corpus);
+* ``REPRO_FUZZ_MODULAR`` -- when ``1``, the modular-compilation pass runs
+  the whole corpus instead of every fourth seed.
 """
 
 import os
@@ -38,7 +40,15 @@ import pytest
 
 from repro import CompilationService, compile_source
 from repro.codegen.ir import GenerationStyle
-from repro.programs import ControlProgramSpec, generate_control_program
+from repro.lang import normalize, parse_process
+from repro.lang.units import split_units
+from repro.programs import (
+    ControlProgramSpec,
+    FleetSpec,
+    fleet_member_modules,
+    generate_control_program,
+    generate_fleet,
+)
 from repro.runtime import (
     ReactiveExecutor,
     SharedCProgram,
@@ -46,7 +56,13 @@ from repro.runtime import (
     random_input_schedule,
     random_oracle,
 )
-from repro.service import executable_from_record, types_from_record
+from repro.service import (
+    CompileStore,
+    executable_from_record,
+    record_from_result,
+    types_from_record,
+    unit_store_key,
+)
 
 MASTER_SEED = 19950621  # PLDI'95
 NUM_PROGRAMS = 52
@@ -418,3 +434,191 @@ def test_arithmix_negative_operands_loaded_c():
             assert c_outputs == expected, f"A={a} B={b}: loaded C {c_outputs}"
             assert python_outputs == expected, f"A={a} B={b}: python {python_outputs}"
             assert reference == expected, f"A={a} B={b}: interpreter {reference}"
+
+
+# -- modular compilation -----------------------------------------------------
+#
+# The compositional pipeline (split into canonical units, compile per unit
+# against the shared unit cache, link) must be *behaviourally invisible*:
+# whatever the corpus, a modular compile's executables trace-match the
+# monolithic compile and replay on the reference interpreter.  Fleet members
+# share library modules, so their modular legs also exercise genuine
+# cross-program unit-cache hits; the sharded service routes unit compiles by
+# unit fingerprint, proving the shard map is as invisible at unit
+# granularity as it is for whole programs.  Runs are schedule-driven
+# (complete assignments, free-clock presence drawn per root key): fleet
+# members have several free roots, whose linked defaults differ from the
+# single-root convention.
+
+MODULAR_FULL = os.environ.get("REPRO_FUZZ_MODULAR", "0") == "1"
+MODULAR_STRIDE = 1 if MODULAR_FULL else 4
+
+#: Modular compiles route *units* by fingerprint across this sharded pool.
+_MODULAR_SERVICE = CompilationService(
+    max_entries=NUM_PROGRAMS * 2, max_pool_nodes=4000, shards=max(FUZZ_SHARDS, 2)
+)
+
+#: Six programs drawn from an eight-module library with a two-module shared
+#: core: every member after the first hits the unit cache.
+FLEET_SPEC = FleetSpec(
+    name="FUZZFLEET",
+    programs=6,
+    library_size=8,
+    units_per_program=4,
+    shared_units=2,
+    seed=MASTER_SEED,
+)
+
+
+def assert_modular_matches_monolithic(source, seed, label, service):
+    """Modular == monolithic == interpreter for one source, both styles."""
+    monolithic = compile_source(source, build_flat=True)
+    linked = service.compile_modular(source, build_flat=True)
+
+    mono_step = monolithic.executable.fresh()
+    linked_step = linked.executable.fresh()
+    assert [flag[1] for flag in linked_step.root_flags] == [
+        flag[1] for flag in mono_step.root_flags
+    ], f"seed {seed} [{label}]: linked root keys diverge from monolithic"
+
+    schedule = random_input_schedule(
+        monolithic.types,
+        mono_step.inputs,
+        mono_step.root_flags,
+        steps=REACTIONS,
+        seed=random.Random(f"{MASTER_SEED}:{seed}:{label}"),
+    )
+    mono_trace = ReactiveExecutor(mono_step).run(REACTIONS, inputs_per_step=schedule)
+    linked_trace = ReactiveExecutor(linked_step).run(
+        REACTIONS, inputs_per_step=schedule
+    )
+    assert [step.outputs for step in linked_trace] == [
+        step.outputs for step in mono_trace
+    ], f"seed {seed} [{label}]: modular hierarchical trace diverges"
+
+    flat_trace = ReactiveExecutor(linked.executable_flat.fresh()).run(
+        REACTIONS, inputs_per_step=schedule
+    )
+    assert [step.outputs for step in flat_trace] == [
+        step.outputs for step in mono_trace
+    ], f"seed {seed} [{label}]: modular flat trace diverges"
+
+    # Anchor the linked trace itself to the reference semantics.
+    assert_replay_on_interpreter(linked, linked_trace, seed, f"{label}/modular")
+    return monolithic, linked
+
+
+@pytest.mark.parametrize("member", range(FLEET_SPEC.programs))
+def test_modular_fleet_differential(member):
+    """Every fleet member, modular through the sharded unit cache."""
+    source = generate_fleet(FLEET_SPEC)[member]
+    assert_modular_matches_monolithic(source, member, "fleet", _MODULAR_SERVICE)
+
+
+def test_modular_fleet_cold_then_warm_records_identical():
+    """Cold records == warm records, with exact unit-compile accounting.
+
+    A fresh service compiles the whole fleet twice.  The cold round may
+    only compile each *distinct* library module once (everything else must
+    be unit-cache hits); the warm round compiles nothing.  Both rounds --
+    and a thread-parallel batch -- produce byte-identical records.
+    """
+    sources = generate_fleet(FLEET_SPEC)
+    members = fleet_member_modules(FLEET_SPEC)
+    distinct_modules = len({m for modules in members for m in modules})
+    total_units = sum(len(modules) for modules in members)
+    with CompilationService(shards=max(FUZZ_SHARDS, 2)) as service:
+        cold = [
+            service.compile_modular_record(source, build_flat=True)
+            for source in sources
+        ]
+        stats = service.statistics()
+        assert stats["unit_misses"] == distinct_modules
+        assert stats["unit_hits"] == total_units - distinct_modules
+
+        warm = [
+            service.compile_modular_record(source, build_flat=True)
+            for source in sources
+        ]
+        assert warm == cold
+        assert service.statistics()["unit_misses"] == distinct_modules
+
+        batched = service.compile_batch(
+            sources, jobs=3, build_flat=True, modular=True
+        )
+        assert [
+            record_from_result(linked, GenerationStyle.HIERARCHICAL, build_flat=True)
+            for linked in batched
+        ] == cold
+
+
+@pytest.mark.parametrize("seed", range(0, NUM_PROGRAMS, MODULAR_STRIDE))
+def test_modular_corpus_differential(seed):
+    """The seeded corpus through the modular pipeline (strided by default,
+    complete with ``REPRO_FUZZ_MODULAR=1``)."""
+    source = generate_control_program(spec_for_seed(seed))
+    assert_modular_matches_monolithic(source, seed, "corpus", _MODULAR_SERVICE)
+
+
+def test_modular_process_worker_batch_matches_reference(tmp_path):
+    """The fleet through ``compile_batch(workers="processes", modular=True)``.
+
+    Worker processes compile modular against the shared on-disk store, so
+    unit artifacts cross process boundaries; the records they return must
+    rebuild executables that trace-match a monolithic compile, and the
+    store must end up warm at *module* granularity.
+    """
+    sources = generate_fleet(FLEET_SPEC)
+    with CompilationService(store=str(tmp_path)) as service:
+        records = service.compile_batch(
+            sources,
+            jobs=PROCESS_JOBS,
+            workers="processes",
+            build_flat=True,
+            modular=True,
+        )
+    assert len(records) == len(sources)
+    for index, (source, record) in enumerate(zip(sources, records)):
+        reference = compile_source(source, build_flat=True)
+        assert record["fingerprint"] == reference.program.fingerprint()
+
+        mono_step = reference.executable.fresh()
+        executable = executable_from_record(record)
+        executable.reset()
+        assert [flag[1] for flag in executable.root_flags] == [
+            flag[1] for flag in mono_step.root_flags
+        ]
+        schedule = random_input_schedule(
+            reference.types,
+            mono_step.inputs,
+            mono_step.root_flags,
+            steps=REACTIONS,
+            seed=random.Random(f"{MASTER_SEED}:{index}:process-modular"),
+        )
+        mono_trace = ReactiveExecutor(mono_step).run(
+            REACTIONS, inputs_per_step=schedule
+        )
+        trace = ReactiveExecutor(executable).run(REACTIONS, inputs_per_step=schedule)
+        assert [step.outputs for step in trace] == [
+            step.outputs for step in mono_trace
+        ], f"member {index}: process-modular record diverges from monolithic"
+
+        flat = executable_from_record(record, flat=True)
+        flat.reset()
+        flat_trace = ReactiveExecutor(flat).run(REACTIONS, inputs_per_step=schedule)
+        assert [step.outputs for step in flat_trace] == [
+            step.outputs for step in mono_trace
+        ], f"member {index}: process-modular flat record diverges"
+
+    # The workers spilled their unit artifacts into the shared store.
+    store = CompileStore(tmp_path)
+    for unit in split_units(normalize(parse_process(sources[0]))):
+        assert store.get(unit_store_key(unit.fingerprint())) is not None
+
+
+def test_modular_corpus_stride_still_covers_multiple_shapes():
+    """The strided modular subset must span both arithmetic and plain
+    shapes, like the loaded-C stride."""
+    specs = [spec_for_seed(seed) for seed in range(0, NUM_PROGRAMS, MODULAR_STRIDE)]
+    assert any(spec.with_arithmetic for spec in specs)
+    assert any(not spec.with_arithmetic for spec in specs)

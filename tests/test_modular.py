@@ -1,0 +1,303 @@
+"""Modular compilation: unit fingerprints, artifact sharing, the link stage.
+
+The compositional pipeline rests on four guarantees, each with its own
+section below:
+
+* **canonicalization** -- a unit's fingerprint depends only on the unit's
+  *shape*: alpha-renaming the program, reordering its modules, or embedding
+  the module in a different program must not change it (Hypothesis
+  property tests);
+* **accounting** -- the unit cache turns module overlap into exactly the
+  expected number of compiles: a program sharing ``k`` of its ``n`` units
+  with already-compiled programs performs exactly ``n - k`` unit compiles;
+* **link determinism** -- linking cached unit artifacts (memory or disk,
+  cold or warm) always produces the same whole-program record, and the
+  linked executables trace-match the monolithic compile of the same source;
+* **resource hygiene** -- a unit that fails to compile mid-link leaves no
+  BDD scope behind, and evicting a unit record from the LRU releases its
+  scope too.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CausalityError, CompilationService, compile_source
+from repro.lang import normalize, parse_process
+from repro.lang.kernel import rename_program
+from repro.lang.units import UNIT_FINGERPRINT_VERSION, split_units
+from repro.programs import (
+    FleetSpec,
+    fleet_member_modules,
+    generate_fleet,
+    library_module_source,
+)
+from repro.programs.generators import _assemble_program
+from repro.runtime import ReactiveExecutor, random_input_schedule
+from repro.service import CompileStore
+
+LIBRARY = list(range(6))
+
+
+def kernel_of(source):
+    return normalize(parse_process(source))
+
+
+def unit_fingerprints(source):
+    return [unit.fingerprint() for unit in split_units(kernel_of(source))]
+
+
+# -- canonicalization --------------------------------------------------------
+
+_BASE_SOURCE = _assemble_program("BASE", LIBRARY)
+_BASE_PROGRAM = kernel_of(_BASE_SOURCE)
+_BASE_FINGERPRINTS = [unit.fingerprint() for unit in split_units(_BASE_PROGRAM)]
+_BASE_NAMES = list(_BASE_PROGRAM.inputs) + list(_BASE_PROGRAM.outputs) + list(
+    _BASE_PROGRAM.locals
+)
+
+
+def test_unit_fingerprint_version_is_pinned():
+    """Bump :data:`UNIT_FINGERPRINT_VERSION` whenever canonical_form or the
+    canonicalization rules change -- stale store records must stop matching."""
+    assert UNIT_FINGERPRINT_VERSION == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.permutations(range(len(_BASE_NAMES))), st.integers(0, 9))
+def test_alpha_renaming_preserves_unit_fingerprints(perm, salt):
+    """Renaming every signal (injectively) changes no unit fingerprint."""
+    mapping = {
+        name: f"R{salt}_{index}" for name, index in zip(_BASE_NAMES, perm)
+    }
+    renamed = rename_program(_BASE_PROGRAM, mapping, name="OTHER")
+    assert [
+        unit.fingerprint() for unit in split_units(renamed)
+    ] == _BASE_FINGERPRINTS
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.permutations(LIBRARY))
+def test_module_reorder_permutes_unit_fingerprints(perm):
+    """Reordering modules permutes the fingerprint list, never rewrites it."""
+    shuffled = unit_fingerprints(_assemble_program("SHUF", list(perm)))
+    assert shuffled == [_BASE_FINGERPRINTS[module] for module in perm]
+    assert sorted(shuffled) == sorted(_BASE_FINGERPRINTS)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(0, len(LIBRARY) - 1),
+    st.integers(0, 30),
+    st.integers(0, 30),
+)
+def test_embedding_invariance(module, position_a, position_b):
+    """The same library module embedded anywhere fingerprints identically:
+    standalone at any signal position, or inside the six-module program."""
+    solo_a = unit_fingerprints(library_module_source(module, position=position_a))
+    solo_b = unit_fingerprints(
+        library_module_source(module, position=position_b, name="ZOTHER")
+    )
+    assert solo_a == solo_b == [_BASE_FINGERPRINTS[module]]
+
+
+def test_library_modules_are_pairwise_distinct():
+    """Shape distinctness: no two library modules may collide, otherwise the
+    fleet's sharing accounting would silently overcount."""
+    assert len(set(_BASE_FINGERPRINTS)) == len(LIBRARY)
+
+
+# -- accounting --------------------------------------------------------------
+
+
+def test_second_program_compiles_exactly_the_novel_units():
+    """The ISSUE acceptance property: k shared units => n - k unit compiles."""
+    spec = FleetSpec(
+        name="ACC",
+        programs=2,
+        library_size=8,
+        units_per_program=4,
+        shared_units=2,
+        seed=3,
+    )
+    members = fleet_member_modules(spec)
+    first, second = generate_fleet(spec)
+    shared = len(set(members[0]) & set(members[1]))
+    novel = len(set(members[1]) - set(members[0]))
+    assert shared == spec.shared_units  # the pool assignment kept them disjoint
+
+    with CompilationService() as service:
+        service.compile_modular(first)
+        after_first = service.statistics()
+        assert after_first["unit_misses"] == spec.units_per_program
+        assert after_first["unit_hits"] == 0
+
+        service.compile_modular(second)
+        after_second = service.statistics()
+        assert after_second["unit_misses"] - after_first["unit_misses"] == novel
+        assert after_second["unit_hits"] - after_first["unit_hits"] == shared
+
+        # A warm repeat is all hits.
+        service.compile_modular(second)
+        warm = service.statistics()
+        assert warm["unit_misses"] == after_second["unit_misses"]
+        assert warm["unit_hits"] - after_second["unit_hits"] == spec.units_per_program
+        assert warm["links"] == 3
+        assert warm["modular_requests"] == 3
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 10**6))
+def test_unit_accounting_matches_module_ground_truth(seed):
+    """For any fleet seed, per-member compiles == novel modules, hits == rest."""
+    spec = FleetSpec(
+        name="GT",
+        programs=3,
+        library_size=6,
+        units_per_program=3,
+        shared_units=1,
+        seed=seed,
+    )
+    members = fleet_member_modules(spec)
+    with CompilationService() as service:
+        seen = set()
+        for source, modules in zip(generate_fleet(spec), members):
+            before = service.statistics()
+            service.compile_modular(source)
+            after = service.statistics()
+            novel = len(set(modules) - seen)
+            assert after["unit_misses"] - before["unit_misses"] == novel
+            assert after["unit_hits"] - before["unit_hits"] == len(modules) - novel
+            seen |= set(modules)
+
+
+# -- link determinism --------------------------------------------------------
+
+_LINK_SPEC = FleetSpec(
+    name="LNK", programs=1, library_size=4, units_per_program=3, shared_units=3, seed=11
+)
+_LINK_SOURCE = generate_fleet(_LINK_SPEC)[0]
+
+
+def test_link_determinism_cold_vs_warm(tmp_path):
+    """A record linked from freshly compiled units equals one linked from
+    store-loaded units in a brand-new service (byte-for-byte)."""
+    store = CompileStore(tmp_path)
+    with CompilationService(store=store) as cold_service:
+        cold = cold_service.compile_modular_record(_LINK_SOURCE, build_flat=True)
+        assert cold_service.statistics()["unit_misses"] == 3
+
+    with CompilationService(store=store) as warm_service:
+        warm = warm_service.compile_modular_record(_LINK_SOURCE, build_flat=True)
+        stats = warm_service.statistics()
+        assert stats["unit_store_hits"] == 3
+        assert stats["unit_misses"] == 0
+    assert cold == warm
+
+
+def test_modular_record_is_whole_program_keyed():
+    with CompilationService() as service:
+        record = service.compile_modular_record(_LINK_SOURCE)
+    assert record["kind"] == "program"
+    assert record["fingerprint"] == kernel_of(_LINK_SOURCE).fingerprint()
+
+
+def test_linked_executables_trace_match_monolithic():
+    """Both styles of the linked result replay the monolithic trace exactly.
+
+    Fleet members have several free root clocks whose linked default differs
+    from a single-root program's, so the run is schedule-driven: presence is
+    drawn per root key, and the keys themselves must agree across pipelines.
+    """
+    monolithic = compile_source(_LINK_SOURCE, build_flat=True)
+    with CompilationService() as service:
+        linked = service.compile_modular(_LINK_SOURCE, build_flat=True)
+
+    mono_step = monolithic.executable.fresh()
+    linked_step = linked.executable.fresh()
+    assert [flag[1] for flag in linked_step.root_flags] == [
+        flag[1] for flag in mono_step.root_flags
+    ]
+    schedule = random_input_schedule(
+        monolithic.types,
+        mono_step.inputs,
+        mono_step.root_flags,
+        steps=24,
+        seed=random.Random(20260808),
+    )
+    mono_trace = ReactiveExecutor(mono_step).run(24, inputs_per_step=schedule)
+    linked_trace = ReactiveExecutor(linked_step).run(24, inputs_per_step=schedule)
+    assert [step.outputs for step in linked_trace] == [
+        step.outputs for step in mono_trace
+    ]
+
+    flat_trace = ReactiveExecutor(linked.executable_flat.fresh()).run(
+        24, inputs_per_step=schedule
+    )
+    assert [step.outputs for step in flat_trace] == [
+        step.outputs for step in mono_trace
+    ]
+
+
+# -- resource hygiene --------------------------------------------------------
+
+_GOOD_THEN_BROKEN = (
+    "process BROKEN = ( ? integer A, T; ! integer Y, X; )"
+    " (| Y := A + 1 | X := X + 1 | synchro { X, T } |) end;"
+)
+
+
+def _unit_scope_namespaces(service):
+    return sorted(
+        namespace
+        for (_, namespace) in service._scopes
+        if namespace.startswith("unit:")
+    )
+
+
+def test_mid_link_failure_releases_the_failing_units_scope():
+    """Unit 1 (``Y := A + 1``) compiles and stays cached; unit 2 has an
+    instantaneous cycle and dies in causality analysis.  The dead unit's
+    BDD scope must be released, the good unit's kept (its record is live)."""
+    with CompilationService() as service:
+        with pytest.raises(CausalityError):
+            service.compile_modular(_GOOD_THEN_BROKEN)
+        stats = service.statistics()
+        assert stats["unit_misses"] == 1  # only the good unit landed a record
+        assert stats["unit_cache_entries"] == 1
+        assert stats["links"] == 0
+
+        good_unit = split_units(kernel_of(_GOOD_THEN_BROKEN))[0]
+        assert _unit_scope_namespaces(service) == ["unit:" + good_unit.fingerprint()]
+
+        # The failure poisoned nothing: an honest program still compiles,
+        # and the good unit's cached record is reused for it.
+        healthy = (
+            "process OK = ( ? integer B; ! integer Z; ) (| Z := B + 1 |) end;"
+        )
+        service.compile_modular(healthy)
+        assert service.statistics()["unit_hits"] == 1
+
+
+def test_unit_eviction_releases_its_scope():
+    """With a 2-entry unit LRU, linking a 3-unit program evicts the first
+    unit's record mid-compile -- and its scope with it."""
+    spec = FleetSpec(
+        name="EVC", programs=1, library_size=3, units_per_program=3,
+        shared_units=3, seed=5,
+    )
+    source = generate_fleet(spec)[0]
+    with CompilationService(max_unit_entries=2) as service:
+        linked = service.compile_modular(source)
+        assert linked.statistics()["units"] == 3  # the link itself succeeded
+        stats = service.statistics()
+        assert stats["unit_cache_max_entries"] == 2
+        assert stats["unit_cache_entries"] == 2
+        assert len(_unit_scope_namespaces(service)) == 2
+
+        cached = {
+            "unit:" + unit.fingerprint()
+            for unit in split_units(kernel_of(source))[1:]
+        }
+        assert set(_unit_scope_namespaces(service)) == cached

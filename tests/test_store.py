@@ -9,13 +9,18 @@ from repro.lang.parser import parse_process
 from repro.lang.kernel import normalize
 from repro.programs import ALARM_SOURCE, COUNTER_SOURCE
 from repro.runtime import ReactiveExecutor, random_oracle
+from repro.compiler import compile_unit_record
+from repro.lang.units import split_units
 from repro.service.store import (
     STORE_FORMAT,
+    UNIT_STYLE,
     CompileStore,
     executable_from_record,
+    key_from_record,
     record_from_result,
     store_key,
     types_from_record,
+    unit_store_key,
 )
 
 STYLE = GenerationStyle.HIERARCHICAL
@@ -126,6 +131,83 @@ class TestCorruptionTolerance:
         leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
         assert leftovers == []
         assert len(store) == 1
+
+
+class TestFormatMigration:
+    """Format 3 added the ``kind`` field (program vs unit records).
+
+    A store directory written by an older build contains format-1/2 records
+    at the very paths current keys hash to.  The read path must treat them
+    as quarantined misses -- count them invalid and unlink them -- never
+    crash or serve them.
+    """
+
+    @pytest.mark.parametrize("old_format", [1, 2])
+    def test_old_format_record_is_quarantined_not_crashed(self, tmp_path, old_format):
+        _, record, key = make_record()
+        old = {k: v for k, v in record.items() if k != "kind"}
+        old["format"] = old_format
+        store = CompileStore(tmp_path)
+        store.put(key, old)  # the exact path a current get() probes
+        assert len(store) == 1
+
+        fresh = CompileStore(tmp_path)  # a restarted daemon's view
+        assert fresh.get(key) is None
+        assert fresh.statistics()["invalid"] == 1
+        assert len(fresh) == 0  # unlinked: the miss will recompile and overwrite
+
+    @pytest.mark.parametrize("old_format", [1, 2])
+    def test_key_from_record_rejects_old_formats(self, old_format):
+        _, record, _ = make_record()
+        old = {k: v for k, v in record.items() if k != "kind"}
+        old["format"] = old_format
+        with pytest.raises(ValueError):
+            key_from_record(old)
+
+    def test_key_from_record_rejects_unknown_kinds(self):
+        _, record, _ = make_record()
+        with pytest.raises(ValueError):
+            key_from_record(dict(record, kind="mystery"))
+
+    def test_current_program_records_carry_their_kind(self):
+        _, record, key = make_record()
+        assert record["kind"] == "program"
+        assert key_from_record(record) == key
+
+
+class TestUnitRecords:
+    def _unit_record(self, source=COUNTER_SOURCE):
+        program = normalize(parse_process(source))
+        (unit,) = split_units(program)
+        return unit, compile_unit_record(unit)
+
+    def test_unit_record_round_trip(self, tmp_path):
+        unit, record = self._unit_record()
+        key = unit_store_key(unit.fingerprint())
+        store = CompileStore(tmp_path)
+        store.put(key, record)
+        assert store.get(key) == record
+        assert json.loads(json.dumps(record)) == record
+
+    def test_unit_record_key_is_derivable_from_the_record(self):
+        unit, record = self._unit_record()
+        assert record["kind"] == "unit"
+        assert record["style"] == UNIT_STYLE
+        assert key_from_record(record) == unit_store_key(unit.fingerprint())
+
+    def test_unit_and_program_keys_never_collide(self, tmp_path):
+        """Even for the same fingerprint string, the unit pseudo-style keeps
+        unit records on separate paths from every program record."""
+        _, record, key = make_record()
+        fingerprint = record["fingerprint"]
+        store = CompileStore(tmp_path)
+        store.put(key, record)
+        assert store.get(unit_store_key(fingerprint)) is None
+        for style in GenerationStyle:
+            for build_flat in (False, True):
+                assert unit_store_key(fingerprint) != store_key(
+                    fingerprint, style, build_flat, True
+                )
 
 
 class TestPruning:

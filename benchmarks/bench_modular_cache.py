@@ -1,12 +1,15 @@
 #!/usr/bin/env python
-"""Unit-cache leverage of modular compilation on a shared-module fleet.
+"""Unit-cache and linked-cache leverage of modular compilation on a fleet.
 
 A fleet of programs assembled from one module library (by default 20
 programs, 6 units each, 4 of them a shared core drawn from a 10-module
-library) is compiled twice: monolithically (every program compiles all of
-its units from scratch) and modularly (units come from the shared unit
-cache; only *novel* library modules are ever compiled).  The script prints
-a per-member table and fails (exit code 1) when:
+library) is compiled through three pipelines: monolithically (every
+program compiles all of its units from scratch), modularly (units come
+from the shared unit cache; only *novel* library modules are ever
+compiled), and modularly with the linked-result tier disabled (the
+pre-linked-cache behaviour: every warm request re-links from cached
+units).  The script prints a per-member table and fails (exit code 1)
+when:
 
 * the modular pipeline does not perform at least ``--min-unit-reduction``
   (default 3x) fewer unit compiles than the monolithic pipeline's
@@ -14,7 +17,13 @@ a per-member table and fails (exit code 1) when:
 * the unit accounting is off by even one unit: member ``i`` must compile
   exactly the library modules no earlier member used (in particular the
   second member compiles exactly ``units_per_program - overlap`` units);
-* a warm modular round recompiles anything at all.
+* a warm modular round recompiles anything at all;
+* a fully-warm modular round is not at least ``--min-link-speedup``
+  (default 2x) faster than the re-link baseline;
+* a fully-warm modular round is slower than a fully-warm monolithic
+  round by more than ``--latency-tolerance`` (default 25%);
+* the records served by the linked cache are not byte-identical to the
+  records the re-link baseline composes.
 
 Usage::
 
@@ -43,6 +52,9 @@ from repro.service import CompilationService
 FULL_PROGRAMS = 20
 QUICK_PROGRAMS = 6
 
+#: timed warm rounds per pipeline; the minimum is gated (noise-resistant)
+WARM_ROUNDS = 5
+
 
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -68,12 +80,42 @@ def parse_args(argv=None) -> argparse.Namespace:
         ),
     )
     parser.add_argument(
+        "--min-link-speedup",
+        type=float,
+        default=2.0,
+        help=(
+            "fail when the fully-warm modular round is not this many times "
+            "faster than the re-link baseline (default 2.0)"
+        ),
+    )
+    parser.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=0.25,
+        help=(
+            "fail when the fully-warm modular round is slower than the "
+            "fully-warm monolithic round by more than this fraction "
+            "(default 0.25)"
+        ),
+    )
+    parser.add_argument(
         "--no-check",
         action="store_true",
         help="report only; never fail on the gates",
     )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     return parser.parse_args(argv)
+
+
+def _warm_rounds(compile_one, sources: List[str]) -> float:
+    """Best-of-N wall time for one full fully-warm round over the fleet."""
+    best = float("inf")
+    for _ in range(WARM_ROUNDS):
+        started = time.perf_counter()
+        for source in sources:
+            compile_one(source)
+        best = min(best, time.perf_counter() - started)
+    return best
 
 
 def run(argv=None) -> int:
@@ -100,10 +142,9 @@ def run(argv=None) -> int:
         started = time.perf_counter()
         mono_service.compile(source, build_flat=True)
         mono_cold.append(time.perf_counter() - started)
-    started = time.perf_counter()
-    for source in sources:
-        mono_service.compile(source, build_flat=True)
-    mono_warm_total = time.perf_counter() - started
+    mono_warm_total = _warm_rounds(
+        lambda source: mono_service.compile(source, build_flat=True), sources
+    )
 
     # -- modular cold + warm, with per-member unit accounting ---------------
     service = CompilationService(max_entries=max(2 * programs, 16))
@@ -121,15 +162,51 @@ def run(argv=None) -> int:
         seen |= set(modules)
     cold_stats = service.statistics()
 
-    started = time.perf_counter()
-    for source in sources:
-        service.compile_modular(source, build_flat=True)
-    modular_warm_total = time.perf_counter() - started
+    modular_warm_total = _warm_rounds(
+        lambda source: service.compile_modular(source, build_flat=True), sources
+    )
     warm_stats = service.statistics()
+
+    # -- re-link baseline: the linked-result tier disabled -------------------
+    # Every warm request pays parse + split + unit-LRU hits + a full link;
+    # this is exactly what modular compilation cost before the linked cache.
+    relink_service = CompilationService(
+        max_entries=max(2 * programs, 16), max_linked_entries=0
+    )
+    for source in sources:  # warm the unit cache
+        relink_service.compile_modular(source, build_flat=True)
+    relink_warm_total = _warm_rounds(
+        lambda source: relink_service.compile_modular(source, build_flat=True),
+        sources,
+    )
+
+    # -- byte identity: cached linked results vs re-linked ones --------------
+    from repro.codegen.ir import GenerationStyle
+    from repro.service import record_from_result
+
+    record_drift = []
+    for index, source in enumerate(sources):
+        cached = record_from_result(
+            service.compile_modular(source, build_flat=True),
+            GenerationStyle.HIERARCHICAL,
+            build_flat=True,
+        )
+        relinked = record_from_result(
+            relink_service.compile_modular(source, build_flat=True),
+            GenerationStyle.HIERARCHICAL,
+            build_flat=True,
+        )
+        if cached != relinked:
+            record_drift.append(index)
 
     unit_compiles = cold_stats["unit_misses"]
     reduction = monolithic_units / unit_compiles if unit_compiles else float("inf")
     warm_recompiles = warm_stats["unit_misses"] - cold_stats["unit_misses"]
+    link_speedup = (
+        relink_warm_total / modular_warm_total
+        if modular_warm_total
+        else float("inf")
+    )
 
     report: Dict[str, object] = {
         "spec": {
@@ -146,10 +223,14 @@ def run(argv=None) -> int:
         "member_expected_novel_units": member_expected,
         "unit_hits": cold_stats["unit_hits"],
         "warm_unit_recompiles": warm_recompiles,
+        "warm_link_hits": warm_stats["link_hits"],
         "monolithic_cold_seconds": sum(mono_cold),
         "monolithic_warm_seconds": mono_warm_total,
         "modular_cold_seconds": sum(modular_cold),
         "modular_warm_seconds": modular_warm_total,
+        "relink_warm_seconds": relink_warm_total,
+        "link_speedup": link_speedup,
+        "record_drift_members": record_drift,
     }
 
     if arguments.json:
@@ -173,9 +254,13 @@ def run(argv=None) -> int:
         )
         print(
             f"cold: modular {sum(modular_cold) * 1000.0:.1f} ms vs monolithic "
-            f"{sum(mono_cold) * 1000.0:.1f} ms; warm: modular "
-            f"{modular_warm_total * 1000.0:.1f} ms vs monolithic "
-            f"{mono_warm_total * 1000.0:.1f} ms"
+            f"{sum(mono_cold) * 1000.0:.1f} ms"
+        )
+        print(
+            f"warm: modular {modular_warm_total * 1000.0:.1f} ms vs monolithic "
+            f"{mono_warm_total * 1000.0:.1f} ms vs re-link "
+            f"{relink_warm_total * 1000.0:.1f} ms "
+            f"(linked-cache speedup {link_speedup:.1f}x)"
         )
 
     failed = False
@@ -197,6 +282,29 @@ def run(argv=None) -> int:
         if warm_recompiles != 0:
             print(
                 f"FAIL: a warm modular round recompiled {warm_recompiles} unit(s)",
+                file=sys.stderr,
+            )
+            failed = True
+        if link_speedup < arguments.min_link_speedup:
+            print(
+                f"FAIL: warm modular round is only {link_speedup:.2f}x faster "
+                f"than the re-link baseline (required "
+                f"{arguments.min_link_speedup:.1f}x)",
+                file=sys.stderr,
+            )
+            failed = True
+        if modular_warm_total > mono_warm_total * (1.0 + arguments.latency_tolerance):
+            print(
+                f"FAIL: warm modular round ({modular_warm_total * 1000.0:.1f} ms) "
+                f"is more than {arguments.latency_tolerance:.0%} slower than the "
+                f"warm monolithic round ({mono_warm_total * 1000.0:.1f} ms)",
+                file=sys.stderr,
+            )
+            failed = True
+        if record_drift:
+            print(
+                "FAIL: linked-cache records drift from re-linked records for "
+                f"member(s) {record_drift}",
                 file=sys.stderr,
             )
             failed = True

@@ -491,6 +491,14 @@ def build_remote_argument_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="seed for the --simulate random inputs"
     )
     parser.add_argument(
+        "--modular",
+        action="store_true",
+        help=(
+            "compile misses unit-by-unit on the daemon (shared modules hit "
+            "its unit cache, repeated compositions its linked-result cache)"
+        ),
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print the daemon's cache statistics (JSON) after compiling",
@@ -918,6 +926,7 @@ def run_remote_compile(argv: List[str]) -> int:
                     emit=[arguments.emit],
                     simulate=arguments.simulate,
                     seed=arguments.seed,
+                    modular=arguments.modular,
                 )
             except RemoteError as error:
                 print(f"error: {path}: {error}", file=sys.stderr)

@@ -29,7 +29,7 @@ interpreter and the Python backend.  ``xor`` coerces both operands through
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Set, Union
+from typing import Callable, Iterable, List, Optional, Set, Tuple, Union
 
 from ..errors import CodeGenerationError
 from ..lang.types import SignalType
@@ -58,7 +58,17 @@ from .ir import (
     ValueExpr,
 )
 
-__all__ = ["generate_c_source", "generate_c_shared_source"]
+__all__ = [
+    "generate_c_source",
+    "generate_c_shared_source",
+    "render_c_module",
+    "render_c_shared_module",
+    "emit_statement_lines",
+    "emit_shared_statement_lines",
+    "scan_statement_arithmetic",
+    "scan_statement_io",
+    "nonfinite_initial",
+]
 
 
 _C_TYPES = {
@@ -239,6 +249,52 @@ def _needed_helpers(ir: StepIR) -> Set[str]:
     return helpers
 
 
+def scan_statement_arithmetic(statements: Iterable[Stmt]) -> Tuple[Set[str], bool]:
+    """``(helper names, any non-finite float literal)`` for a statement list.
+
+    The per-unit emit cache stores this summary so the linker can decide,
+    without re-walking any IR, which arithmetic helpers the merged
+    translation unit needs and whether ``<math.h>`` must be included for
+    ``INFINITY``/``NAN`` literals (register initials are checked separately
+    from the register metadata).
+    """
+    helpers: Set[str] = set()
+    literals: List[object] = []
+    _scan_statements(statements, helpers, literals)
+    nonfinite = any(
+        isinstance(value, float) and not math.isfinite(value) for value in literals
+    )
+    return helpers, nonfinite
+
+
+def nonfinite_initial(value: object) -> bool:
+    """Whether a register initial needs the ``<math.h>`` non-finite macros."""
+    return isinstance(value, float) and not math.isfinite(value)
+
+
+def scan_statement_io(statements: Iterable[Stmt]) -> Tuple[List[str], List[str], bool]:
+    """``(sorted reads, sorted writes, uses_clock_input)`` of a statement list."""
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    uses_clock_input = False
+
+    def visit(statement: Stmt) -> None:
+        nonlocal uses_clock_input
+        if isinstance(statement, SetFlagRoot):
+            uses_clock_input = True
+        elif isinstance(statement, ReadInput):
+            reads.add(statement.signal)
+        elif isinstance(statement, EmitOutput):
+            writes.add(statement.signal)
+        elif isinstance(statement, Guard):
+            for inner in statement.body:
+                visit(inner)
+
+    for statement in statements:
+        visit(statement)
+    return sorted(reads), sorted(writes), uses_clock_input
+
+
 def _needs_math_header(ir: StepIR, helpers: Set[str]) -> bool:
     """Whether the translation unit references anything from ``<math.h>``."""
     if "repro_floor_fmod" in helpers:
@@ -264,9 +320,17 @@ def _helper_lines(helpers: Set[str]) -> List[str]:
 # ---------------------------------------------------------------------------
 
 
-def _emit(statement: Stmt, lines: List[str], indent: int) -> None:
+def _emit(
+    statement: Stmt,
+    lines: List[str],
+    indent: int,
+    root_line: Optional[Callable[[SetFlagRoot, str], str]] = None,
+) -> None:
     pad = "    " * indent
     if isinstance(statement, SetFlagRoot):
+        if root_line is not None:
+            lines.append(root_line(statement, pad))
+            return
         lines.append(f"{pad}h{statement.class_id} = read_clock_input(\"{statement.input_key}\");")
     elif isinstance(statement, SetFlagPartition):
         test = statement.condition if statement.polarity else f"!{statement.condition}"
@@ -289,90 +353,125 @@ def _emit(statement: Stmt, lines: List[str], indent: int) -> None:
     elif isinstance(statement, Guard):
         lines.append(f"{pad}if (h{statement.class_id}) {{")
         for inner in statement.body:
-            _emit(inner, lines, indent + 1)
+            _emit(inner, lines, indent + 1, root_line)
         lines.append(f"{pad}}}")
     else:  # pragma: no cover - exhaustive over statement kinds
         raise CodeGenerationError(f"unsupported statement {statement!r}")
 
 
-def _io_prototypes(ir: StepIR) -> List[str]:
+def emit_statement_lines(
+    statements: Iterable[Stmt],
+    indent: int = 1,
+    root_line: Optional[Callable[[SetFlagRoot, str], str]] = None,
+) -> List[str]:
+    """The classic emitter's statement body as a list of source lines.
+
+    ``root_line`` substitutes for ``SetFlagRoot`` emission (link-time
+    placeholders in the per-unit cache, see the python backend).
+    """
+    lines: List[str] = []
+    for statement in statements:
+        _emit(statement, lines, indent, root_line)
+    return lines
+
+
+def io_prototypes(
+    reads: List[str], writes: List[str], uses_clock_input: bool, types
+) -> List[str]:
     """Extern prototypes for the environment hooks the step function calls.
 
     With these declarations the generated file compiles cleanly as a
     translation unit (``cc -c``); the environment supplies the definitions
     at link time, exactly like the original compiler's runtime library.
     """
-    reads: set = set()
-    writes: set = set()
-    uses_clock_input = False
-
-    def visit(statement: Stmt) -> None:
-        nonlocal uses_clock_input
-        if isinstance(statement, SetFlagRoot):
-            uses_clock_input = True
-        elif isinstance(statement, ReadInput):
-            reads.add(statement.signal)
-        elif isinstance(statement, EmitOutput):
-            writes.add(statement.signal)
-        elif isinstance(statement, Guard):
-            for inner in statement.body:
-                visit(inner)
-
-    for statement in ir.statements:
-        visit(statement)
-
     prototypes: List[str] = []
     if uses_clock_input:
         prototypes.append("extern int read_clock_input(const char *name);")
     for signal in sorted(reads):
-        c_type = _C_TYPES[ir.types[signal]]
+        c_type = _C_TYPES[types[signal]]
         prototypes.append(f"extern {c_type} read_input_{signal}(void);")
     for signal in sorted(writes):
-        c_type = _C_TYPES[ir.types[signal]]
+        c_type = _C_TYPES[types[signal]]
         prototypes.append(f"extern void write_output_{signal}({c_type} value);")
     return prototypes
 
 
-def generate_c_source(ir: StepIR) -> str:
-    """Render the step IR as a self-contained C-like translation unit."""
+def _io_prototypes(ir: StepIR) -> List[str]:
+    reads, writes, uses_clock_input = scan_statement_io(ir.statements)
+    return io_prototypes(reads, writes, uses_clock_input, ir.types)
+
+
+def render_c_module(
+    name: str,
+    style_value: str,
+    needs_math: bool,
+    prototypes: List[str],
+    helpers: Set[str],
+    register_lines: List[str],
+    flag_ids: List[int],
+    signal_declarations: List[str],
+    body_lines: List[str],
+) -> str:
+    """Frame a statement body as the full classic C translation unit.
+
+    Shared by :func:`generate_c_source` and the linker's incremental path
+    (concatenated per-unit bodies) so both produce byte-identical output.
+    ``signal_declarations`` may arrive in any order; the frame sorts them,
+    exactly like whole-IR emission always has.
+    """
     lines: List[str] = []
-    lines.append(f"/* Generated by the SIGNAL reproduction compiler -- process {ir.name} */")
-    lines.append(f"/* style: {ir.style.value} */")
+    lines.append(f"/* Generated by the SIGNAL reproduction compiler -- process {name} */")
+    lines.append(f"/* style: {style_value} */")
     lines.append("#include <stdbool.h>")
-    helpers = _needed_helpers(ir)
-    if _needs_math_header(ir, helpers):
+    if needs_math:
         lines.append("#include <math.h>")
     lines.append("")
-    prototypes = _io_prototypes(ir)
     if prototypes:
         lines.extend(prototypes)
         lines.append("")
     lines.extend(_helper_lines(helpers))
 
-    for register in ir.registers:
-        c_type = _C_TYPES[register.type]
-        lines.append(f"static {c_type} {register.register} = {_c_literal(register.initial)};")
-    if ir.registers:
+    lines.extend(register_lines)
+    if register_lines:
         lines.append("")
 
-    hierarchy = ir.schedule.hierarchy
-    flag_ids = sorted(c.id for c in hierarchy.classes if not c.is_null)
-    signal_declarations = []
-    for signal, clock_class in ir.schedule.signal_class.items():
-        c_type = _C_TYPES[ir.types[signal]]
-        signal_declarations.append(f"    {c_type} {signal};")
-
-    lines.append(f"void {ir.name}_step(void)")
+    lines.append(f"void {name}_step(void)")
     lines.append("{")
     for class_id in flag_ids:
         lines.append(f"    bool h{class_id} = false;")
     lines.extend(sorted(signal_declarations))
     lines.append("")
-    for statement in ir.statements:
-        _emit(statement, lines, 1)
+    lines.extend(body_lines)
     lines.append("}")
     lines.append("")
     return "\n".join(lines)
+
+
+def generate_c_source(ir: StepIR) -> str:
+    """Render the step IR as a self-contained C-like translation unit."""
+    helpers = _needed_helpers(ir)
+    register_lines = [
+        f"static {_C_TYPES[register.type]} {register.register} = "
+        f"{_c_literal(register.initial)};"
+        for register in ir.registers
+    ]
+    hierarchy = ir.schedule.hierarchy
+    flag_ids = sorted(c.id for c in hierarchy.classes if not c.is_null)
+    signal_declarations = [
+        f"    {_C_TYPES[ir.types[signal]]} {signal};"
+        for signal in ir.schedule.signal_class
+    ]
+    return render_c_module(
+        ir.name,
+        ir.style.value,
+        _needs_math_header(ir, helpers),
+        _io_prototypes(ir),
+        helpers,
+        register_lines,
+        flag_ids,
+        signal_declarations,
+        emit_statement_lines(ir.statements, indent=1),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -401,10 +500,17 @@ def generate_c_source(ir: StepIR) -> str:
 
 
 def _emit_shared(
-    statement: Stmt, lines: List[str], indent: int, root_index: dict
+    statement: Stmt,
+    lines: List[str],
+    indent: int,
+    root_index: dict,
+    root_line: Optional[Callable[[SetFlagRoot, str], str]] = None,
 ) -> None:
     pad = "    " * indent
     if isinstance(statement, SetFlagRoot):
+        if root_line is not None:
+            lines.append(root_line(statement, pad))
+            return
         position = root_index[statement.class_id]
         lines.append(
             f"{pad}h{statement.class_id} = "
@@ -434,33 +540,63 @@ def _emit_shared(
     elif isinstance(statement, Guard):
         lines.append(f"{pad}if (h{statement.class_id}) {{")
         for inner in statement.body:
-            _emit_shared(inner, lines, indent + 1, root_index)
+            _emit_shared(inner, lines, indent + 1, root_index, root_line)
         lines.append(f"{pad}}}")
     else:  # pragma: no cover - exhaustive over statement kinds
         raise CodeGenerationError(f"unsupported statement {statement!r}")
 
 
-def generate_c_shared_source(ir: StepIR) -> str:
-    """Render the step IR as a reentrant, columnar shared-library source.
+def emit_shared_statement_lines(
+    statements: Iterable[Stmt],
+    root_index: dict,
+    indent: int = 2,
+    root_line: Optional[Callable[[SetFlagRoot, str], str]] = None,
+) -> List[str]:
+    """The columnar emitter's statement body as a list of source lines.
 
-    See the ABI comment above; :class:`repro.runtime.mass.SharedCProgram`
-    compiles the result with ``cc -shared`` and drives it through ctypes.
+    With ``root_line`` set, ``root_index`` is never consulted (root
+    positions are only known at link time) -- pass ``{}``.
     """
-    name = ir.name
+    lines: List[str] = []
+    for statement in statements:
+        _emit_shared(statement, lines, indent, root_index, root_line)
+    return lines
+
+
+def render_c_shared_module(
+    name: str,
+    style_value: str,
+    needs_math: bool,
+    helpers: Set[str],
+    register_members: List[Tuple[str, str, str]],
+    input_params: List[Tuple[str, str]],
+    output_params: List[Tuple[str, str]],
+    has_root_flags: bool,
+    flag_ids: List[int],
+    signal_declarations: List[str],
+    body_lines: List[str],
+) -> str:
+    """Frame a statement body as the full reentrant columnar source.
+
+    Shared by :func:`generate_c_shared_source` and the linker's incremental
+    path.  ``register_members`` is ``(c_type, register_name,
+    initial_literal_text)`` in IR order; ``input_params``/``output_params``
+    are ``(c_type, signal)`` in interface order; ``signal_declarations``
+    may arrive unsorted (the frame sorts, as whole-IR emission always has).
+    """
     lines: List[str] = []
     lines.append(f"/* Generated by the SIGNAL reproduction compiler -- process {name} */")
-    lines.append(f"/* style: {ir.style.value}; reentrant columnar step (mass simulation) */")
-    helpers = _needed_helpers(ir)
-    if _needs_math_header(ir, helpers):
+    lines.append(f"/* style: {style_value}; reentrant columnar step (mass simulation) */")
+    if needs_math:
         lines.append("#include <math.h>")
     lines.append("")
 
     # The explicit state struct: one member per delay register.  An empty
     # struct is not valid C, so stateless programs carry a padding byte.
     lines.append("typedef struct {")
-    if ir.registers:
-        for register in ir.registers:
-            lines.append(f"    {_C_TYPES[register.type]} {register.register};")
+    if register_members:
+        for c_type, register, _literal in register_members:
+            lines.append(f"    {c_type} {register};")
     else:
         lines.append("    char repro_unused;")
     lines.append(f"}} {name}_state;")
@@ -477,11 +613,10 @@ def generate_c_shared_source(ir: StepIR) -> str:
     lines.append("{")
     lines.append("    long repro_i;")
     lines.append("    for (repro_i = 0; repro_i < repro_n; ++repro_i) {")
-    if ir.registers:
-        for register in ir.registers:
+    if register_members:
+        for _c_type, register, literal in register_members:
             lines.append(
-                f"        repro_states[repro_i].{register.register} = "
-                f"{_c_literal(register.initial)};"
+                f"        repro_states[repro_i].{register} = {literal};"
             )
     else:
         lines.append("        repro_states[repro_i].repro_unused = 0;")
@@ -493,10 +628,10 @@ def generate_c_shared_source(ir: StepIR) -> str:
     # value/presence columns -- all orders from the IR metadata.
     parameters = [f"{name}_state *repro_states", "long repro_n"]
     parameters.append("const unsigned char *repro_roots")
-    for signal in ir.inputs:
-        parameters.append(f"const {_C_TYPES[ir.types[signal]]} *in_{signal}")
-    for signal in ir.outputs:
-        parameters.append(f"{_C_TYPES[ir.types[signal]]} *out_{signal}")
+    for c_type, signal in input_params:
+        parameters.append(f"const {c_type} *in_{signal}")
+    for c_type, signal in output_params:
+        parameters.append(f"{c_type} *out_{signal}")
         parameters.append(f"unsigned char *out_{signal}_present")
 
     lines.append(f"void {name}_step_many(")
@@ -505,29 +640,55 @@ def generate_c_shared_source(ir: StepIR) -> str:
         lines.append(f"    {parameter}{comma}")
     lines.append("{")
     lines.append("    long repro_i;")
-    if not ir.root_flags:
+    if not has_root_flags:
         lines.append("    (void) repro_roots;")
     lines.append("    for (repro_i = 0; repro_i < repro_n; ++repro_i) {")
     lines.append(f"        {name}_state *repro_self = &repro_states[repro_i];")
-    if not ir.registers:
+    if not register_members:
         lines.append("        (void) repro_self;")
 
-    hierarchy = ir.schedule.hierarchy
-    flag_ids = sorted(c.id for c in hierarchy.classes if not c.is_null)
     for class_id in flag_ids:
         lines.append(f"        int h{class_id} = 0;")
-    signal_declarations = []
-    for signal, clock_class in ir.schedule.signal_class.items():
-        signal_declarations.append(f"        {_C_TYPES[ir.types[signal]]} {signal};")
     lines.extend(sorted(signal_declarations))
-    for signal in ir.outputs:
+    for _c_type, signal in output_params:
         lines.append(f"        out_{signal}_present[repro_i] = 0;")
     lines.append("")
 
-    root_index = {class_id: position for position, (class_id, _, _) in enumerate(ir.root_flags)}
-    for statement in ir.statements:
-        _emit_shared(statement, lines, 2, root_index)
+    lines.extend(body_lines)
     lines.append("    }")
     lines.append("}")
     lines.append("")
     return "\n".join(lines)
+
+
+def generate_c_shared_source(ir: StepIR) -> str:
+    """Render the step IR as a reentrant, columnar shared-library source.
+
+    See the ABI comment above; :class:`repro.runtime.mass.SharedCProgram`
+    compiles the result with ``cc -shared`` and drives it through ctypes.
+    """
+    helpers = _needed_helpers(ir)
+    register_members = [
+        (_C_TYPES[register.type], register.register, _c_literal(register.initial))
+        for register in ir.registers
+    ]
+    hierarchy = ir.schedule.hierarchy
+    flag_ids = sorted(c.id for c in hierarchy.classes if not c.is_null)
+    signal_declarations = [
+        f"        {_C_TYPES[ir.types[signal]]} {signal};"
+        for signal in ir.schedule.signal_class
+    ]
+    root_index = {class_id: position for position, (class_id, _, _) in enumerate(ir.root_flags)}
+    return render_c_shared_module(
+        ir.name,
+        ir.style.value,
+        _needs_math_header(ir, helpers),
+        helpers,
+        register_members,
+        [(_C_TYPES[ir.types[signal]], signal) for signal in ir.inputs],
+        [(_C_TYPES[ir.types[signal]], signal) for signal in ir.outputs],
+        bool(ir.root_flags),
+        flag_ids,
+        signal_declarations,
+        emit_shared_statement_lines(ir.statements, root_index, indent=2),
+    )

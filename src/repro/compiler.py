@@ -30,13 +30,29 @@ from .bdd import BDDManager
 from .clocks.algebra import CondFalse, CondTrue, SignalClock
 from .clocks.equations import ClockSystem, extract_clock_system
 from .clocks.resolution import ClockHierarchy, resolve
-from .codegen.c_backend import generate_c_shared_source, generate_c_source
+from .codegen.c_backend import (
+    emit_shared_statement_lines,
+    emit_statement_lines as emit_c_statement_lines,
+    generate_c_shared_source,
+    generate_c_source,
+    scan_statement_arithmetic,
+    scan_statement_io,
+)
 from .codegen.ir import GenerationStyle, StepIR, build_step_ir
-from .codegen.linker import ir_to_payload, link_step_ir
+from .codegen.linker import (
+    ir_to_payload,
+    link_c_shared_source,
+    link_c_source,
+    link_interface,
+    link_python_source,
+    link_step_ir,
+    root_placeholder_line,
+)
 from .codegen.python_backend import (
     CompiledProcess,
     _instantiate_step,
     compile_step,
+    emit_statement_lines as emit_python_statement_lines,
     generate_python_source,
 )
 from .graph.dependency import ConditionalDependencyGraph, build_dependency_graph
@@ -56,6 +72,7 @@ __all__ = [
     "analyze_source",
     "compile_unit_record",
     "link_units",
+    "linked_result_from_record",
     "compile_modular_source",
 ]
 
@@ -292,10 +309,38 @@ def compile_unit_record(unit: ProgramUnit, manager: Optional[BDDManager] = None)
     graph.check_causality(hierarchy)
     schedule = build_schedule(canonical, hierarchy, graph)
 
-    ir_by_style = {
-        style.value: ir_to_payload(build_step_ir(schedule, types, style))
+    irs = {
+        style: build_step_ir(schedule, types, style)
         for style in (GenerationStyle.HIERARCHICAL, GenerationStyle.FLAT)
     }
+    ir_by_style = {style.value: ir_to_payload(ir) for style, ir in irs.items()}
+    # Per-unit generated statement bodies, emitted once here and reused by
+    # every link of this unit: the linker only offsets flag ids, renames
+    # canonical signals and fills the @@ROOT@@ placeholders (presence keys,
+    # defaults and columnar root positions exist only for the linked
+    # program), then frames the concatenated bodies -- whole-program code
+    # is never re-emitted statement by statement on the modular path.
+    emit_by_style = {}
+    for style, ir in irs.items():
+        helpers, nonfinite = scan_statement_arithmetic(ir.statements)
+        reads, writes, uses_clock_input = scan_statement_io(ir.statements)
+        emit_by_style[style.value] = {
+            "python": emit_python_statement_lines(
+                ir.statements, indent=2, observable=True,
+                root_line=root_placeholder_line,
+            ),
+            "c": emit_c_statement_lines(
+                ir.statements, indent=1, root_line=root_placeholder_line
+            ),
+            "c_shared": emit_shared_statement_lines(
+                ir.statements, {}, indent=2, root_line=root_placeholder_line
+            ),
+            "helpers": sorted(helpers),
+            "nonfinite": nonfinite,
+            "reads": reads,
+            "writes": writes,
+            "uses_clock_input": uses_clock_input,
+        }
     class_ids = sorted(c.id for c in hierarchy.classes if not c.is_null)
     all_ids = [c.id for c in hierarchy.classes]
     for payload in ir_by_style.values():
@@ -326,6 +371,7 @@ def compile_unit_record(unit: ProgramUnit, manager: Optional[BDDManager] = None)
             {"id": c.id, "atoms": _serialize_atoms(c.atoms)} for c in free
         ],
         "ir": ir_by_style,
+        "emit": emit_by_style,
         "artifacts": {
             "forest": hierarchy.render_forest(),
             "free": [c.display_name() for c in free],
@@ -383,7 +429,15 @@ class LinkedCompilationResult:
     process: Optional[Process] = None
     executable: Optional[CompiledProcess] = None
     executable_flat: Optional[CompiledProcess] = None
+    #: the persisted linked record this result was rehydrated from, if any;
+    #: record-backed results serve artifacts from the record (the unit
+    #: records are deliberately not loaded -- that is the point of the
+    #: linked tier) and can only render the style the record was built for
+    record: Optional[dict] = None
     _linked_irs: Dict[GenerationStyle, StepIR] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _linked_sources: Dict[tuple, str] = field(
         default_factory=dict, repr=False, compare=False
     )
 
@@ -392,6 +446,8 @@ class LinkedCompilationResult:
         return self.program.name
 
     def unit_fingerprints(self) -> list:
+        if self.record is not None and not self.units:
+            return list(self.record["unit_fingerprints"])
         return [unit.fingerprint() for unit in self.units]
 
     def interpreter(self) -> KernelInterpreter:
@@ -408,36 +464,104 @@ class LinkedCompilationResult:
             "max_class_id": record["max_class_id"],
             "signal_class": record["signal_class"],
             "free_classes": record["free_classes"],
+            "emit": (record.get("emit") or {}).get(style.value),
             "types": {
                 rename.get(name, name): SignalType(value)
                 for name, value in record["types"].items()
             },
         }
 
+    def _parts(self, style: GenerationStyle) -> list:
+        return [
+            self._part(unit, record, style)
+            for unit, record in zip(self.units, self.unit_records)
+        ]
+
+    def _require_unit_records(self) -> None:
+        if self.record is not None and not self.unit_records:
+            raise ValueError(
+                "linked result was rehydrated from a store record rendered "
+                f"for style {self.record['options']['style']!r}; other "
+                "artifacts require a re-link from unit records"
+            )
+
+    def _record_artifact(
+        self, key: str, style: Optional[GenerationStyle] = None
+    ) -> Optional[str]:
+        """The stored artifact of a record-backed result, or ``None``."""
+        if self.record is None:
+            return None
+        if style is not None and style.value != self.record["options"]["style"]:
+            return None
+        return self.record["artifacts"][key]
+
     def step_ir(self, style: GenerationStyle = GenerationStyle.HIERARCHICAL) -> StepIR:
         ir = self._linked_irs.get(style)
         if ir is None:
-            parts = [
-                self._part(unit, record, style)
-                for unit, record in zip(self.units, self.unit_records)
-            ]
+            self._require_unit_records()
             ir = link_step_ir(
-                self.program.name, style, parts, self.program.inputs, self.program.outputs
+                self.program.name,
+                style,
+                self._parts(style),
+                self.program.inputs,
+                self.program.outputs,
             )
             self._linked_irs[style] = ir
         return ir
 
+    def _linked_source(self, backend: str, style: GenerationStyle) -> str:
+        """Generated source via the incremental path, with full-IR fallback.
+
+        Composes the cached per-unit bodies when every unit record carries
+        an emit cache; unit records written before per-unit emission fall
+        back to emitting from the fully linked IR.  Both paths produce
+        byte-identical text (the fuzz suite asserts it), so the composed
+        source is memoized under the same key either way.
+        """
+        cached = self._linked_sources.get((backend, style.value))
+        if cached is not None:
+            return cached
+        self._require_unit_records()
+        parts = self._parts(style)
+        arguments = (self.program.name, style, parts, self.program.inputs, self.program.outputs)
+        if backend == "python":
+            source = link_python_source(*arguments)
+            if source is None:
+                source = generate_python_source(self.step_ir(style))
+        elif backend == "c":
+            source = link_c_source(*arguments)
+            if source is None:
+                source = generate_c_source(self.step_ir(style))
+        else:
+            source = link_c_shared_source(*arguments)
+            if source is None:
+                source = generate_c_shared_source(self.step_ir(style))
+        self._linked_sources[(backend, style.value)] = source
+        return source
+
     def python_source(self, style: GenerationStyle = GenerationStyle.HIERARCHICAL) -> str:
-        return generate_python_source(self.step_ir(style))
+        stored = self._record_artifact("python", style)
+        if stored is not None:
+            return stored
+        return self._linked_source("python", style)
 
     def c_source(self, style: GenerationStyle = GenerationStyle.HIERARCHICAL) -> str:
-        return generate_c_source(self.step_ir(style))
+        stored = self._record_artifact("c", style)
+        if stored is not None:
+            return stored
+        return self._linked_source("c", style)
 
     def c_shared_source(self, style: GenerationStyle = GenerationStyle.HIERARCHICAL) -> str:
-        return generate_c_shared_source(self.step_ir(style))
+        stored = self._record_artifact("c_shared", style)
+        if stored is not None:
+            return stored
+        return self._linked_source("c_shared", style)
 
     # -- composed artifacts ---------------------------------------------------
     def tree_text(self) -> str:
+        stored = self._record_artifact("tree")
+        if stored is not None:
+            return stored
         forests = []
         free_names = []
         for unit, record in zip(self.units, self.unit_records):
@@ -454,6 +578,9 @@ class LinkedCompilationResult:
 
     @property
     def clock_system(self) -> _LinkedClockSystemText:
+        stored = self._record_artifact("clocks")
+        if stored is not None:
+            return _LinkedClockSystemText(stored)
         sections = []
         for unit, record in zip(self.units, self.unit_records):
             sections.append(
@@ -462,6 +589,8 @@ class LinkedCompilationResult:
         return _LinkedClockSystemText("\n\n".join(sections))
 
     def statistics(self) -> Dict[str, int]:
+        if self.record is not None and not self.unit_records:
+            return dict(self.record["statistics"])
         stats: Dict[str, int] = {key: 0 for key in _ADDITIVE_STATS}
         forest_height = 0
         for record in self.unit_records:
@@ -479,6 +608,33 @@ class LinkedCompilationResult:
 def _linked_executable(
     result: LinkedCompilationResult, style: GenerationStyle, observable: bool
 ) -> CompiledProcess:
+    name = result.program.name
+    if observable:
+        # Incremental path: concatenate the cached per-unit python bodies
+        # instead of linking a full StepIR first.  The interface (inputs,
+        # outputs, root flags) is recomputed from the unit payloads alone.
+        parts = result._parts(style)
+        source = link_python_source(
+            name, style, parts, result.program.inputs, result.program.outputs
+        )
+        if source is not None:
+            result._linked_sources.setdefault(("python", style.value), source)
+            interface = link_interface(
+                parts, result.program.inputs, result.program.outputs
+            )
+            instance = _instantiate_step(source, name, observable)
+            return CompiledProcess(
+                name=name,
+                style=style,
+                source=source,
+                ir=None,
+                step_instance=instance,
+                inputs=list(interface["inputs"]),
+                outputs=list(interface["outputs"]),
+                root_flags=list(interface["root_flags"]),
+                types=dict(result.types),
+                observable=observable,
+            )
     ir = result.step_ir(style)
     source = generate_python_source(ir, observable=observable)
     instance = _instantiate_step(source, ir.name, observable)
@@ -566,4 +722,37 @@ def compile_modular_source(
         build_flat=build_flat,
         observable=observable,
         process=process,
+    )
+
+
+def linked_result_from_record(
+    record: dict,
+    program: KernelProgram,
+    units: list,
+    process: Optional[Process] = None,
+) -> LinkedCompilationResult:
+    """Rehydrate a linked result from a persisted ``kind: "linked"`` record.
+
+    No unit records are loaded: artifacts and statistics come straight from
+    the record and the executables are re-executed from their stored step
+    sources, so a pruned unit record never forces a recompile as long as
+    the linked record survives.
+    """
+    from .service.store import executable_from_record, types_from_record
+
+    options = record["options"]
+    executable = executable_from_record(record, flat=False)
+    executable_flat = None
+    if options["build_flat"] and record.get("executable_flat") is not None:
+        executable_flat = executable_from_record(record, flat=True)
+    return LinkedCompilationResult(
+        program=program,
+        types=types_from_record(record),
+        units=list(units),
+        unit_records=[],
+        observable=options["observable"],
+        process=process,
+        executable=executable,
+        executable_flat=executable_flat,
+        record=record,
     )

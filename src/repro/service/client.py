@@ -263,21 +263,28 @@ class RemoteCompiler:
         emit: Iterable[str] = (),
         simulate: int = 0,
         seed: int = 0,
+        modular: bool = False,
     ) -> RemoteResult:
-        """Compile SIGNAL source on the daemon and fetch rendered artifacts."""
+        """Compile SIGNAL source on the daemon and fetch rendered artifacts.
+
+        ``modular=True`` asks the daemon to compile misses unit-by-unit
+        against its unit and linked-result caches; hits and the response
+        shape are unchanged (the record tiers stay whole-program keyed).
+        """
         style_value = style.value if isinstance(style, GenerationStyle) else str(style)
-        response = self.request(
-            {
-                "op": "compile",
-                "source": source,
-                "style": style_value,
-                "build_flat": build_flat,
-                "observable": observable,
-                "emit": list(emit),
-                "simulate": simulate,
-                "seed": seed,
-            }
-        )
+        request: Dict[str, object] = {
+            "op": "compile",
+            "source": source,
+            "style": style_value,
+            "build_flat": build_flat,
+            "observable": observable,
+            "emit": list(emit),
+            "simulate": simulate,
+            "seed": seed,
+        }
+        if modular:
+            request["modular"] = True
+        response = self.request(request)
         return RemoteResult(
             name=response["name"],
             fingerprint=response["fingerprint"],

@@ -97,6 +97,7 @@ from .store import (
     CompileStore,
     executable_from_record,
     key_from_record,
+    linked_store_key,
     record_from_result,
     store_key,
     unit_store_key,
@@ -522,8 +523,9 @@ class CompilationDaemon:
         """Build the cache key a ``store-get`` request names.
 
         ``kind: "unit"`` addresses a per-unit artifact record by its unit
-        fingerprint (modular compilation); the default kind ``"program"``
-        keeps the historical whole-program addressing.
+        fingerprint (modular compilation), ``kind: "linked"`` a composed
+        linked record by its link fingerprint; the default kind
+        ``"program"`` keeps the historical whole-program addressing.
         """
         fingerprint = request.get("fingerprint")
         if not isinstance(fingerprint, str) or not fingerprint:
@@ -531,8 +533,10 @@ class CompilationDaemon:
         kind = _field(request, "kind", str, "program")
         if kind == "unit":
             return unit_store_key(fingerprint)
+        if kind == "linked":
+            return linked_store_key(fingerprint)
         if kind != "program":
-            raise _RequestError("field 'kind' must be 'program' or 'unit'")
+            raise _RequestError("field 'kind' must be 'program', 'unit' or 'linked'")
         style_name = _field(request, "style", str, GenerationStyle.HIERARCHICAL.value)
         try:
             style = GenerationStyle(style_name)

@@ -515,6 +515,18 @@ class CompileGateway(CompilationDaemon):
             "compiles": 0,
             "errors": 0,
         }
+        # Modular tiers live in the per-daemon *service* stats; summing
+        # them here answers "how hot are the unit and linked tiers" for
+        # the whole fleet the same way ``fleet`` does for record tiers.
+        modular_fleet = {
+            "unit_hits": 0,
+            "unit_misses": 0,
+            "unit_store_hits": 0,
+            "links": 0,
+            "link_hits": 0,
+            "link_misses": 0,
+            "link_store_hits": 0,
+        }
         for state in states:
             entry = state.snapshot()
             if entry["healthy"]:
@@ -535,9 +547,15 @@ class CompileGateway(CompilationDaemon):
                             value = daemon_stats.get(key)
                             if isinstance(value, int):
                                 fleet[key] += value
+                        service_stats = entry["stats"].get("service") or {}
+                        for key in modular_fleet:
+                            value = service_stats.get(key)
+                            if isinstance(value, int):
+                                modular_fleet[key] += value
             per_backend.append(entry)
         gateway["healthy"] = sum(1 for entry in per_backend if entry["healthy"])
         gateway["fleet"] = fleet
+        gateway["modular_fleet"] = modular_fleet
         return {**base, "gateway": gateway, "backends": per_backend}
 
     # -- server --------------------------------------------------------------

@@ -117,13 +117,21 @@ from ..compiler import (
     compile_process,
     compile_unit_record,
     link_units,
+    linked_result_from_record,
 )
 from ..lang.ast import Process
 from ..lang.kernel import KernelProgram, normalize
 from ..lang.parser import parse_process
 from ..lang.units import split_units
-from .cache import LRUCache, shard_for_fingerprint, source_digest
-from .store import CompileStore, record_from_result, store_key, unit_store_key
+from .cache import LRUCache, link_fingerprint, shard_for_fingerprint, source_digest
+from .store import (
+    CompileStore,
+    linked_record_from_result,
+    linked_store_key,
+    record_from_result,
+    store_key,
+    unit_store_key,
+)
 
 __all__ = ["CompilationService", "WORKER_MODES"]
 
@@ -247,6 +255,33 @@ def _process_worker_record(
     return record
 
 
+def _process_worker_unit_record(
+    payload: Tuple[str, str, Optional[str]]
+) -> Dict[str, object]:
+    """Resolve one *unit* in a worker process; return its artifact record.
+
+    The parallel-link fan-out unit: the parent splits a modular batch into
+    distinct units and ships each one here as ``(source containing it, unit
+    fingerprint, store path)``.  The worker re-splits the source (cheap and
+    BDD-free), locates the unit by fingerprint, and resolves it through its
+    private unit LRU and the shared disk store -- so two workers racing on
+    one unit at worst duplicate a compile, never diverge (unit compilation
+    is deterministic).
+    """
+    global _WORKER_SERVICE
+    if _WORKER_SERVICE is None:
+        _WORKER_SERVICE = CompilationService(max_entries=64)
+    source, unit_fingerprint, store_path = payload
+    store = _worker_store(store_path)
+    program = normalize(parse_process(source))
+    for unit in split_units(program):
+        if unit.fingerprint() == unit_fingerprint:
+            return _WORKER_SERVICE._unit_record_for(unit, store)
+    raise ValueError(
+        f"batch bookkeeping error: source contains no unit {unit_fingerprint}"
+    )
+
+
 class CompilationService:
     """A stateful compiler front end that pools BDDs and caches results.
 
@@ -291,6 +326,7 @@ class CompilationService:
         shards: int = 1,
         store: Optional[Union[CompileStore, str, os.PathLike]] = None,
         max_unit_entries: Optional[int] = None,
+        max_linked_entries: Optional[int] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -320,8 +356,23 @@ class CompilationService:
         self._unit_records: LRUCache[Dict[str, object]] = LRUCache(
             max_unit_entries, on_evict=self._on_unit_evicted
         )
+        # Composed linked results (modular compilation), keyed by the link
+        # fingerprint -- the digest of the ordered unit-fingerprint tuple,
+        # the rename maps and the code-generation options (see
+        # :func:`repro.service.cache.link_fingerprint`).  A hit skips unit
+        # resolution and the link stage entirely.  ``max_linked_entries=0``
+        # disables the tier (every modular request re-links from units, the
+        # pre-link behaviour benchmarks compare against).
+        if max_linked_entries is None:
+            max_linked_entries = max_entries
+        self._linked_results: Optional[LRUCache[LinkedCompilationResult]] = (
+            LRUCache(max_linked_entries) if max_linked_entries > 0 else None
+        )
         # Source-text digest -> kernel fingerprint (exact-repeat fast path).
         self._source_fingerprints: LRUCache[str] = LRUCache(max(max_entries * 4, 16))
+        # (source digest, options) -> link fingerprint: the modular
+        # exact-repeat fast path (skips parse + normalize + split on a hit).
+        self._link_fingerprints: LRUCache[str] = LRUCache(max(max_entries * 4, 16))
         # (manager identity, namespace) -> scope; managers are kept alive for
         # the service's lifetime, so id() keys are stable.
         self._scopes: Dict[Tuple[int, str], ScopedBDDManager] = {}
@@ -343,6 +394,9 @@ class CompilationService:
         self._unit_misses = 0
         self._unit_store_hits = 0
         self._links = 0
+        self._link_hits = 0
+        self._link_misses = 0
+        self._link_store_hits = 0
 
     # -- shard routing -------------------------------------------------------
     @property
@@ -662,6 +716,13 @@ class CompilationService:
         self._maybe_recycle_shard(shard)
         return record
 
+    def _linked_fresh_hit(
+        self, cached: LinkedCompilationResult
+    ) -> LinkedCompilationResult:
+        with self._lock:
+            self._link_hits += 1
+        return self._fresh_hit(cached)
+
     def compile_modular(
         self,
         source: Optional[str] = None,
@@ -681,22 +742,73 @@ class CompilationService:
         shard.  The link stage then composes them into a
         :class:`~repro.compiler.LinkedCompilationResult` that is
         trace-equivalent to the monolithic :meth:`compile` of the same
-        source.  Linked results are deliberately *not* cached: linking is
-        BDD-free and cheap, and keeping only unit-granularity entries is
-        what lets two programs sharing k of n modules share k cache hits.
+        source.
+
+        Composed results are cached in a third tier above the unit cache:
+        the **linked-result LRU**, keyed by the link fingerprint (ordered
+        unit tuple + renames + options), with ``kind: "linked"`` records
+        spilled to the disk store.  A repeat of the same composition is a
+        ``link_hits`` hit that skips unit resolution and the link stage and
+        returns a copy with fresh executables, exactly like :meth:`compile`
+        hits; a store hit rehydrates without loading unit records, so a
+        pruned unit record never forces a recompile while its linked record
+        survives.  Unit-granularity sharing is untouched -- a *novel*
+        composition of cached units still pays only the link.
         """
         if source is None and process is None:
             raise ValueError("compile_modular needs source= or process=")
         with self._lock:
             self._requests += 1
             self._modular_requests += 1
+        if store is None:
+            store = self.store
+
+        digest_key = None
+        if source is not None and self._linked_results is not None:
+            digest_key = (source_digest(source), style.value, build_flat, observable)
+            memo_fp = self._link_fingerprints.get(digest_key)
+            if memo_fp is not None:
+                cached = self._linked_results.get(memo_fp)
+                if cached is not None:
+                    return self._linked_fresh_hit(cached)
+
         if process is None:
             process = parse_process(source)
         if program is None:
             program = normalize(process)
-        if store is None:
-            store = self.store
         units = split_units(program)
+        link_fp = link_fingerprint(
+            program.name,
+            [unit.fingerprint() for unit in units],
+            [unit.from_canonical for unit in units],
+            program.inputs,
+            program.outputs,
+            style.value,
+            build_flat,
+            observable,
+        )
+        if digest_key is not None:
+            self._link_fingerprints.put(digest_key, link_fp)
+        if self._linked_results is not None:
+            cached = self._linked_results.get(link_fp)
+            if cached is not None:
+                return self._linked_fresh_hit(cached)
+            if store is not None:
+                record = store.get(linked_store_key(link_fp))
+                if (
+                    record is not None
+                    and record.get("program_fingerprint") == program.fingerprint()
+                ):
+                    with self._lock:
+                        self._link_store_hits += 1
+                    linked = linked_result_from_record(
+                        record, program, units, process=process
+                    )
+                    self._linked_results.put(link_fp, linked)
+                    return linked
+
+        with self._lock:
+            self._link_misses += 1
         records = [self._unit_record_for(unit, store) for unit in units]
         linked = link_units(
             program,
@@ -709,6 +821,19 @@ class CompilationService:
         )
         with self._lock:
             self._links += 1
+        if self._linked_results is not None:
+            self._linked_results.put(link_fp, linked)
+            if store is not None:
+                try:
+                    store.put(
+                        linked_store_key(link_fp),
+                        linked_record_from_result(
+                            linked, link_fp, style,
+                            build_flat=build_flat, observable=observable,
+                        ),
+                    )
+                except OSError:
+                    pass  # best-effort spill, as for unit records
         return linked
 
     def compile_modular_record(
@@ -747,13 +872,15 @@ class CompilationService:
     ):
         """Compile many sources with ``jobs`` worker threads or processes.
 
-        With ``modular=True`` every source goes through
-        :meth:`compile_modular`: thread batches return linked results
-        (misses compile per unit on the pool shards, so sources sharing
-        modules share cache entries even within one batch), process
-        batches return whole-program artifact records whose misses were
-        compiled unit-wise in the workers (sharing through the parent's
-        disk store when one is configured).
+        With ``modular=True`` the *unit*, not the source, is the fan-out
+        grain (the parallel link stage): the batch is split up front, its
+        distinct units are resolved concurrently -- on the pool shards for
+        thread batches, as one pool task per novel unit for process
+        batches -- and the final compose runs serially over warm units
+        through :meth:`compile_modular`, so repeated compositions land in
+        (and hit) the linked-result LRU.  Thread batches return linked
+        results; process batches return whole-program artifact records
+        composed in the parent from the workers' unit records.
 
         Results come back in input order.  The two backends differ in what
         they can return:
@@ -798,16 +925,9 @@ class CompilationService:
                     )
                     for s in source_list
                 ]
-
-            def work_modular(source: str) -> LinkedCompilationResult:
-                # Unit misses serialize on their shard locks, so modular
-                # thread batches need no worker-manager checkout.
-                return self.compile_modular(
-                    source, style=style, build_flat=build_flat, observable=observable
-                )
-
-            with ThreadPoolExecutor(max_workers=jobs) as pool:
-                return list(pool.map(work_modular, source_list))
+            return self._compile_batch_modular_threads(
+                source_list, jobs, style, build_flat, observable
+            )
         if jobs <= 1:
             return [
                 self.compile(s, style=style, build_flat=build_flat, observable=observable)
@@ -836,6 +956,134 @@ class CompilationService:
 
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             return list(pool.map(work, source_list))
+
+    def _split_batch(
+        self, source_list: List[str], mapper=map
+    ) -> Tuple[list, Dict[str, object]]:
+        """Parse/split every source; dedupe units across the whole batch.
+
+        Returns ``(parsed, unique)`` where ``parsed`` holds one
+        ``(process, program, units)`` triple per source (input order) and
+        ``unique`` maps each distinct unit fingerprint to one
+        representative -- the unit object for thread batches, the index of
+        the first source containing it for process batches (via
+        ``enumerate`` on the caller side).  ``mapper`` lets thread batches
+        fan the parse itself out.
+        """
+        def split(source: str):
+            process = parse_process(source)
+            program = normalize(process)
+            return process, program, split_units(program)
+
+        parsed = list(mapper(split, source_list))
+        unique: Dict[str, object] = {}
+        for _, _, units in parsed:
+            for unit in units:
+                unique.setdefault(unit.fingerprint(), unit)
+        return parsed, unique
+
+    def _compile_batch_modular_threads(
+        self,
+        source_list: List[str],
+        jobs: int,
+        style: GenerationStyle,
+        build_flat: bool,
+        observable: bool,
+    ) -> List[LinkedCompilationResult]:
+        """The parallel link stage, thread flavour.
+
+        Phase 1 parses and splits every source on the pool; phase 2 dedupes
+        units across the whole batch and resolves each distinct unit
+        exactly once, concurrently (unit misses serialize per shard lock,
+        so no worker-manager checkout is needed); phase 3 composes
+        serially -- every unit is warm by then, so each compose is pure
+        link work, or a linked-LRU hit when the composition repeats.
+        """
+        store = self.store
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            parsed, unique = self._split_batch(source_list, mapper=pool.map)
+            list(
+                pool.map(
+                    lambda unit: self._unit_record_for(unit, store), unique.values()
+                )
+            )
+        return [
+            self.compile_modular(
+                source,
+                process=process,
+                style=style,
+                build_flat=build_flat,
+                observable=observable,
+                program=program,
+            )
+            for source, (process, program, _) in zip(source_list, parsed)
+        ]
+
+    def _compile_batch_modular_processes(
+        self,
+        source_list: List[str],
+        jobs: int,
+        style: GenerationStyle,
+        build_flat: bool,
+        observable: bool,
+    ) -> List[Dict[str, object]]:
+        """The parallel link stage, process flavour.
+
+        Units (not whole sources) are the fan-out grain: each distinct unit
+        not already in the parent's unit LRU becomes one pool task, its
+        returned record is injected back into the parent's LRU, and the
+        parent composes every program serially from warm units -- the
+        compose step is BDD-free, so only per-unit compilation crosses the
+        process boundary.  Workers spill through the shared disk store when
+        one is configured, exactly like whole-source modular workers.
+        """
+        parsed, unique = self._split_batch(source_list)
+        owners: Dict[str, int] = {}
+        for index, (_, _, units) in enumerate(parsed):
+            for unit in units:
+                owners.setdefault(unit.fingerprint(), index)
+        pending = {
+            fingerprint: owners[fingerprint]
+            for fingerprint in unique
+            if self._unit_records.peek(fingerprint) is None
+        }
+        if pending:
+            with self._borrow_process_pool(max(jobs, 1)) as pool:
+                futures = {
+                    fingerprint: pool.submit(
+                        _process_worker_unit_record,
+                        (source_list[index], fingerprint, self._store_path),
+                    )
+                    for fingerprint, index in pending.items()
+                }
+                for fingerprint, future in futures.items():
+                    try:
+                        record = future.result()
+                    except BaseException as error:
+                        # Blame the first source containing the unit, like
+                        # whole-source process batches blame their index.
+                        if not hasattr(error, "batch_index"):
+                            error.batch_index = pending[fingerprint]
+                        raise
+                    self._unit_records.put(fingerprint, record)
+        records = []
+        for source, (process, program, _) in zip(source_list, parsed):
+            linked = self.compile_modular(
+                source,
+                process=process,
+                style=style,
+                build_flat=build_flat,
+                observable=observable,
+                program=program,
+            )
+            records.append(
+                record_from_result(
+                    linked, style, build_flat=build_flat, observable=observable
+                )
+            )
+        with self._lock:
+            self._process_records += len(records)
+        return records
 
     def compile_batch_records(
         self,
@@ -878,6 +1126,10 @@ class CompilationService:
         observable: bool,
         modular: bool = False,
     ) -> List[Dict[str, object]]:
+        if modular:
+            return self._compile_batch_modular_processes(
+                source_list, jobs, style, build_flat, observable
+            )
         payloads = [
             (source, style.value, bool(build_flat), bool(observable),
              self._store_path, bool(modular))
@@ -1045,7 +1297,10 @@ class CompilationService:
         """Drop cached results and scopes (interned pooled BDDs are kept)."""
         self._results.clear()
         self._unit_records.clear()
+        if self._linked_results is not None:
+            self._linked_results.clear()
         self._source_fingerprints.clear()
+        self._link_fingerprints.clear()
         with self._lock:
             for scope in self._scopes.values():
                 scope.encoding_cache.clear()
@@ -1098,6 +1353,9 @@ class CompilationService:
             unit_misses = self._unit_misses
             unit_store_hits = self._unit_store_hits
             links = self._links
+            link_hits = self._link_hits
+            link_misses = self._link_misses
+            link_store_hits = self._link_store_hits
         stats = {
             "requests": requests,
             "cache_entries": len(self._results),
@@ -1123,6 +1381,17 @@ class CompilationService:
             "unit_misses": unit_misses,
             "unit_store_hits": unit_store_hits,
             "links": links,
+            "link_hits": link_hits,
+            "link_misses": link_misses,
+            "link_store_hits": link_store_hits,
+            "linked_cache_entries": (
+                len(self._linked_results) if self._linked_results is not None else 0
+            ),
+            "linked_cache_max_entries": (
+                self._linked_results.max_entries
+                if self._linked_results is not None
+                else 0
+            ),
         }
         stats.update(
             {f"cache_{name}": value for name, value in self._results.stats.as_dict().items()}

@@ -234,6 +234,16 @@ class TestRemoteCompileArguments:
         assert defaults.timeout == 60.0
         assert defaults.retries == 0
 
+    def test_remote_parser_accepts_modular(self):
+        from repro.cli import build_remote_argument_parser
+
+        arguments = build_remote_argument_parser().parse_args([
+            "a.sig", "--port", "7420", "--modular",
+        ])
+        assert arguments.modular is True
+        defaults = build_remote_argument_parser().parse_args(["a.sig", "--port", "1"])
+        assert defaults.modular is False
+
     def test_remote_rejects_negative_retries(self, counter_file, capsys):
         from repro.cli import run_remote_compile
 

@@ -172,6 +172,22 @@ class TestServer:
                 result = client.compile(COUNTER_SOURCE)
                 assert result.origin == "compiled"
 
+    def test_remote_modular_compile_round_trip(self):
+        """``RemoteCompiler.compile(modular=True)`` drives the daemon's
+        modular miss path; the response shape stays whole-program keyed."""
+        with ThreadedDaemon() as daemon:
+            with RemoteCompiler(*daemon.address) as client:
+                result = client.compile(
+                    COUNTER_SOURCE, emit=["python"], modular=True
+                )
+                assert result.origin == "compiled"
+                assert result.artifacts["python"] == compile_source(
+                    COUNTER_SOURCE
+                ).python_source()
+                stats = client.stats()["service"]
+                assert stats["modular_requests"] == 1
+                assert stats["links"] == 1
+
     def test_concurrent_clients_share_the_cache(self):
         """N clients x M repeats of one source: exactly one real compile."""
         clients, repeats = 4, 3
@@ -710,6 +726,48 @@ class TestStoreOps:
         _, origin = daemon.compile_record(COUNTER_SOURCE)
         assert origin == "memory"
         assert daemon.statistics()["daemon"]["compiles"] == 0
+
+    def test_linked_records_ride_the_store_ops(self, tmp_path):
+        """A modular compile spills its ``kind: "linked"`` record; the
+        store-get/store-put ops address it by link fingerprint, and an
+        injected linked record answers a modular miss on another daemon
+        without loading (or compiling) a single unit."""
+        from repro.codegen.ir import GenerationStyle
+        from repro.lang.kernel import normalize
+        from repro.lang.parser import parse_process
+        from repro.lang.units import split_units
+        from repro.service.cache import link_fingerprint
+
+        daemon = CompilationDaemon(store=str(tmp_path / "first"))
+        daemon.compile_record(COUNTER_SOURCE, modular=True)
+        program = normalize(parse_process(COUNTER_SOURCE))
+        units = split_units(program)
+        link_fp = link_fingerprint(
+            program.name,
+            [unit.fingerprint() for unit in units],
+            [unit.from_canonical for unit in units],
+            program.inputs,
+            program.outputs,
+            GenerationStyle.HIERARCHICAL.value,
+            False,
+            True,
+        )
+        response = daemon.handle_request(
+            {"op": "store-get", "kind": "linked", "fingerprint": link_fp}
+        )
+        assert response["ok"] and response["found"]
+        record = response["record"]
+        assert record["kind"] == "linked"
+        assert record["fingerprint"] == link_fp
+
+        other = CompilationDaemon(store=str(tmp_path / "second"))
+        put = other.handle_request({"op": "store-put", "record": record})
+        assert put["ok"] and put["stored"] is True
+        other.compile_record(COUNTER_SOURCE, modular=True)
+        service_stats = other.statistics()["service"]
+        assert service_stats["link_store_hits"] == 1
+        assert service_stats["unit_store_hits"] == 0
+        assert service_stats["unit_misses"] == 0
 
     def test_store_put_without_disk_store_feeds_memory_only(self):
         record = self._record()

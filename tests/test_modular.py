@@ -138,12 +138,14 @@ def test_second_program_compiles_exactly_the_novel_units():
         assert after_second["unit_misses"] - after_first["unit_misses"] == novel
         assert after_second["unit_hits"] - after_first["unit_hits"] == shared
 
-        # A warm repeat is all hits.
+        # A warm repeat is a linked-result hit: no unit resolution, no link.
         service.compile_modular(second)
         warm = service.statistics()
         assert warm["unit_misses"] == after_second["unit_misses"]
-        assert warm["unit_hits"] - after_second["unit_hits"] == spec.units_per_program
-        assert warm["links"] == 3
+        assert warm["unit_hits"] == after_second["unit_hits"]
+        assert warm["links"] == 2
+        assert warm["link_hits"] == 1
+        assert warm["link_misses"] == 2
         assert warm["modular_requests"] == 3
 
 
@@ -181,8 +183,14 @@ _LINK_SOURCE = generate_fleet(_LINK_SPEC)[0]
 
 
 def test_link_determinism_cold_vs_warm(tmp_path):
-    """A record linked from freshly compiled units equals one linked from
-    store-loaded units in a brand-new service (byte-for-byte)."""
+    """A record linked from freshly compiled units equals one rehydrated
+    from the store's linked record in a brand-new service (byte-for-byte).
+
+    The cold compile spills both the three unit records and the composed
+    ``kind: "linked"`` record; the warm service short-circuits on the
+    linked record alone -- it never loads a unit record, which is what
+    makes the linked tier a genuine third level above the unit cache.
+    """
     store = CompileStore(tmp_path)
     with CompilationService(store=store) as cold_service:
         cold = cold_service.compile_modular_record(_LINK_SOURCE, build_flat=True)
@@ -191,9 +199,124 @@ def test_link_determinism_cold_vs_warm(tmp_path):
     with CompilationService(store=store) as warm_service:
         warm = warm_service.compile_modular_record(_LINK_SOURCE, build_flat=True)
         stats = warm_service.statistics()
-        assert stats["unit_store_hits"] == 3
+        assert stats["link_store_hits"] == 1
+        assert stats["unit_store_hits"] == 0
         assert stats["unit_misses"] == 0
+        assert stats["links"] == 0
     assert cold == warm
+
+
+def test_relink_from_units_when_linked_tier_disabled(tmp_path):
+    """``max_linked_entries=0`` restores the pre-linked-cache behaviour:
+    every modular request re-links from (store-warmed) unit records."""
+    store = CompileStore(tmp_path)
+    with CompilationService(store=store) as cold_service:
+        cold = cold_service.compile_modular_record(_LINK_SOURCE, build_flat=True)
+
+    with CompilationService(store=store, max_linked_entries=0) as relink_service:
+        relinked = relink_service.compile_modular_record(_LINK_SOURCE, build_flat=True)
+        relinked_again = relink_service.compile_modular_record(
+            _LINK_SOURCE, build_flat=True
+        )
+        stats = relink_service.statistics()
+        assert stats["link_store_hits"] == 0
+        assert stats["link_hits"] == 0
+        assert stats["unit_store_hits"] == 3
+        assert stats["links"] == 2
+    assert relinked == cold
+    assert relinked_again == cold
+
+
+def test_link_cache_hits_return_isolated_executables():
+    """A linked-cache hit behaves like a fresh compile: its own step
+    instance, never the cached result's (mirrors the monolithic LRU)."""
+    with CompilationService() as service:
+        first = service.compile_modular(_LINK_SOURCE)
+        second = service.compile_modular(_LINK_SOURCE)
+        assert service.statistics()["link_hits"] == 1
+        assert second.executable.step_instance is not first.executable.step_instance
+        assert second.executable.source == first.executable.source
+
+
+def test_clear_cache_drops_linked_results():
+    with CompilationService() as service:
+        service.compile_modular(_LINK_SOURCE)
+        service.clear_cache()
+        service.compile_modular(_LINK_SOURCE)
+        stats = service.statistics()
+        assert stats["link_hits"] == 0
+        assert stats["links"] == 2
+
+
+def test_incremental_link_is_byte_identical_to_ir_emission():
+    """The linker's concatenated per-unit bodies must equal re-emitting the
+    fully linked IR, byte for byte, for every backend and style."""
+    from repro.codegen.c_backend import generate_c_shared_source, generate_c_source
+    from repro.codegen.ir import GenerationStyle
+    from repro.codegen.python_backend import generate_python_source
+
+    with CompilationService() as service:
+        linked = service.compile_modular(_LINK_SOURCE, build_flat=True)
+    for style in GenerationStyle:
+        ir = linked.step_ir(style)
+        assert linked.python_source(style) == generate_python_source(ir)
+        assert linked.c_source(style) == generate_c_source(ir)
+        assert linked.c_shared_source(style) == generate_c_shared_source(ir)
+    assert linked.executable.source == linked.python_source(
+        GenerationStyle.HIERARCHICAL
+    )
+
+
+def test_batch_fan_out_matches_serial_modular():
+    """``compile_batch(modular=True, jobs>1)`` resolves units concurrently
+    but must compose exactly what serial modular compiles produce."""
+    from repro.service import record_from_result
+    from repro.codegen.ir import GenerationStyle
+
+    spec = FleetSpec(
+        name="BATCH", programs=4, library_size=6, units_per_program=3,
+        shared_units=2, seed=23,
+    )
+    sources = generate_fleet(spec)
+    with CompilationService() as serial_service:
+        expected = [
+            record_from_result(
+                serial_service.compile_modular(source, build_flat=True),
+                GenerationStyle.HIERARCHICAL,
+                build_flat=True,
+            )
+            for source in sources
+        ]
+    with CompilationService() as batch_service:
+        batched = batch_service.compile_batch(
+            sources, jobs=3, build_flat=True, modular=True
+        )
+        stats = batch_service.statistics()
+
+    # ``bdd_nodes_total`` is the pool-wide table size at unit-compile
+    # time, so it depends on the order units land on the pool -- the one
+    # statistic the concurrent fan-out legitimately may not reproduce.
+    def order_free(record):
+        record = dict(record)
+        record["statistics"] = {
+            key: value
+            for key, value in record["statistics"].items()
+            if key != "bdd_nodes_total"
+        }
+        return record
+
+    assert [
+        order_free(
+            record_from_result(
+                linked, GenerationStyle.HIERARCHICAL, build_flat=True
+            )
+        )
+        for linked in batched
+    ] == [order_free(record) for record in expected]
+    # The fan-out resolved each distinct unit exactly once.
+    members = fleet_member_modules(spec)
+    distinct = len({module for modules in members for module in modules})
+    assert stats["unit_misses"] == distinct
 
 
 def test_modular_record_is_whole_program_keyed():

@@ -12,11 +12,13 @@ from repro.runtime import ReactiveExecutor, random_oracle
 from repro.compiler import compile_unit_record
 from repro.lang.units import split_units
 from repro.service.store import (
+    LINKED_STYLE,
     STORE_FORMAT,
     UNIT_STYLE,
     CompileStore,
     executable_from_record,
     key_from_record,
+    linked_store_key,
     record_from_result,
     store_key,
     types_from_record,
@@ -366,3 +368,119 @@ class TestRehydration:
         assert record["artifacts"]["c"] == result.c_source(STYLE)
         assert record["artifacts"]["tree"] == result.tree_text()
         assert record["statistics"] == result.statistics()
+
+
+class TestMixedKindStore:
+    """Program, unit and linked records coexisting in one store directory."""
+
+    def _spill_modular(self, tmp_path):
+        """One modular compile spilled to disk: unit records + the linked record.
+
+        Returns ``(store, source, linked_key, unit_keys)``.
+        """
+        from repro import CompilationService
+        from repro.programs import FleetSpec, generate_fleet
+        from repro.service.cache import link_fingerprint
+
+        spec = FleetSpec(
+            name="MIX", programs=1, library_size=4, units_per_program=3,
+            shared_units=3, seed=11,
+        )
+        source = generate_fleet(spec)[0]
+        store = CompileStore(tmp_path)
+        with CompilationService(store=store) as service:
+            service.compile_modular(source)
+        program = normalize(parse_process(source))
+        units = split_units(program)
+        link_fp = link_fingerprint(
+            program.name,
+            [unit.fingerprint() for unit in units],
+            [unit.from_canonical for unit in units],
+            program.inputs,
+            program.outputs,
+            STYLE.value,
+            False,
+            True,
+        )
+        unit_keys = [unit_store_key(unit.fingerprint()) for unit in units]
+        return store, source, linked_store_key(link_fp), unit_keys
+
+    def test_linked_record_round_trips_and_derives_its_key(self, tmp_path):
+        store, _, linked_key, unit_keys = self._spill_modular(tmp_path)
+        assert len(store) == len(unit_keys) + 1
+        record = store.get(linked_key)
+        assert record is not None
+        assert record["kind"] == "linked"
+        assert record["style"] == LINKED_STYLE
+        assert key_from_record(record) == linked_key
+        assert json.loads(json.dumps(record)) == record
+
+    def test_prune_recency_orders_across_kinds(self, tmp_path):
+        """Eviction is pure LRU: kinds grant no seniority.  With the linked
+        record oldest and a unit record next, a two-eviction prune removes
+        exactly those two, leaving the newer unit and program entries."""
+        import os
+
+        store, _, linked_key, unit_keys = self._spill_modular(tmp_path)
+        _, prog_record, prog_key = make_record()
+        store.put(prog_key, prog_record)
+        every = [linked_key] + unit_keys + [prog_key]
+        for index, key in enumerate(every):
+            os.utime(store._entry_path(key), (1000 + index, 1000 + index))
+        sizes = {key: store._entry_path(key).stat().st_size for key in every}
+        budget = sum(sizes.values()) - sizes[linked_key] - sizes[unit_keys[0]]
+        report = store.prune(budget)
+        assert report["removed"] == 2
+        assert store.get(linked_key) is None
+        assert store.get(unit_keys[0]) is None
+        for key in unit_keys[1:] + [prog_key]:
+            assert store.get(key) is not None
+
+    def test_pruned_linked_record_falls_back_to_relink_not_recompile(self, tmp_path):
+        """Losing the linked record costs one link; the surviving unit
+        records still spare every unit compile."""
+        import os
+
+        from repro import CompilationService
+
+        store, source, linked_key, unit_keys = self._spill_modular(tmp_path)
+        os.utime(store._entry_path(linked_key), (1000, 1000))  # the oldest
+        total = sum(
+            store._entry_path(key).stat().st_size
+            for key in [linked_key] + unit_keys
+        )
+        linked_size = store._entry_path(linked_key).stat().st_size
+        report = store.prune(total - linked_size)
+        assert report["removed"] == 1
+        assert store.get(linked_key) is None
+
+        with CompilationService(store=store) as service:
+            service.compile_modular(source)
+            stats = service.statistics()
+        assert stats["link_store_hits"] == 0
+        assert stats["unit_store_hits"] == len(unit_keys)
+        assert stats["unit_misses"] == 0  # re-linked, never re-compiled
+        assert stats["links"] == 1
+
+    def test_pruned_unit_record_is_covered_by_the_linked_record(self, tmp_path):
+        """The converse: with the linked record alive, pruned unit records
+        cost nothing -- rehydration never loads them."""
+        import os
+
+        from repro import CompilationService
+
+        store, source, linked_key, unit_keys = self._spill_modular(tmp_path)
+        for key in unit_keys:
+            os.utime(store._entry_path(key), (1000, 1000))
+        linked_size = store._entry_path(linked_key).stat().st_size
+        report = store.prune(linked_size)
+        assert report["removed"] == len(unit_keys)
+        assert store.get(linked_key) is not None
+
+        with CompilationService(store=store) as service:
+            service.compile_modular(source)
+            stats = service.statistics()
+        assert stats["link_store_hits"] == 1
+        assert stats["unit_store_hits"] == 0
+        assert stats["unit_misses"] == 0
+        assert stats["links"] == 0

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Two-location split vs monolithic execution of one annotated program.
+
+The partitioner (``repro.lang.partition``) cuts a location-annotated
+program into per-location fragments that the distributed harness
+(``repro.runtime.distributed``) advances lock-step, copying the cut
+signals producer-to-consumer each instant.  This benchmark compiles one
+edge/cloud pipeline three ways and steps each over the same random
+schedule:
+
+* ``monolithic`` -- the unsplit generated step (the baseline);
+* ``composite``  -- both fragments stepped lock-step inside one process
+  (isolates the pure channel/flag bookkeeping overhead);
+* ``processes``  -- one OS process per fragment, channels as
+  multiprocessing pipes (the real distributed deployment).
+
+The three traces must be identical -- any divergence fails the benchmark
+(exit 1); that is the same differential oracle the fuzz suite applies.
+Throughput is reported as instants/sec plus the composite/monolithic
+overhead factor.  The OS-process measurement needs one core per fragment
+to mean anything, so on machines with fewer cores it prints ``SKIP`` for
+that leg and exits 0 (the in-process legs still run and gate).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_distributed.py
+    PYTHONPATH=src python benchmarks/bench_distributed.py --instants 2000
+    PYTHONPATH=src python benchmarks/bench_distributed.py --json
+    PYTHONPATH=src python benchmarks/bench_distributed.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runtime.distributed import build_distributed
+from repro.runtime.executor import random_input_schedule
+
+#: An edge/cloud pipeline: the edge samples and pre-filters a sensor,
+#: the cloud accumulates and classifies what the edge forwards.
+PROGRAM = """
+process PIPELINE =
+  ( ? integer RAW at edge; boolean ENABLE at edge;
+    ! integer SMOOTH at edge; integer TOTAL at cloud; boolean ALERT at cloud; )
+  (| ZRAW := RAW $ 1 init 0
+   | SMOOTH := (RAW + ZRAW) / 2
+   | SAMPLE := SMOOTH when ENABLE
+   | ZTOTAL := TOTAL $ 1 init 0
+   | TOTAL := SAMPLE + ZTOTAL at cloud
+   | ALERT := TOTAL > 100 at cloud
+  |)
+  where integer ZRAW, SAMPLE, ZTOTAL;
+end;
+"""
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--instants",
+        type=int,
+        default=1000,
+        help="instants to run per leg (default 1000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="schedule seed (default 0)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON summary"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small instant count (CI smoke)"
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    arguments = parse_args(argv)
+    instants = 200 if arguments.quick else arguments.instants
+
+    distributed = build_distributed(source=PROGRAM)
+    reference = distributed.reference
+    schedule = random_input_schedule(
+        reference.types,
+        list(reference.executable.inputs),
+        list(reference.executable.root_flags),
+        steps=instants,
+        seed=arguments.seed,
+    )
+    outputs = set(distributed.program.outputs)
+
+    step = reference.executable.fresh()
+    started = time.perf_counter()
+    monolithic = [
+        {name: value for name, value in step.step(instant).items() if name in outputs}
+        for instant in schedule
+    ]
+    monolithic_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    composite = distributed.run(schedule)
+    composite_seconds = time.perf_counter() - started
+
+    failures = []
+    if composite != monolithic:
+        failures.append("in-process composite trace diverges from monolithic")
+
+    cores = os.cpu_count() or 1
+    needed = len(distributed.locations) + 1  # fragments plus the driver
+    process_seconds = None
+    process_skip = None
+    if cores < needed:
+        process_skip = (
+            f"{cores} core(s) available, {needed} needed for "
+            f"{len(distributed.locations)} fragment processes plus the driver"
+        )
+    else:
+        started = time.perf_counter()
+        processes = distributed.run_multiprocess(schedule)
+        process_seconds = time.perf_counter() - started
+        if processes != monolithic:
+            failures.append("OS-process composite trace diverges from monolithic")
+
+    def rate(seconds):
+        return instants / seconds if seconds else float("inf")
+
+    overhead = (
+        composite_seconds / monolithic_seconds if monolithic_seconds > 0 else 1.0
+    )
+    summary = {
+        "instants": instants,
+        "locations": distributed.locations,
+        "channels": [
+            {"producer": c.producer, "consumer": c.consumer, "signals": len(c.signals)}
+            for c in distributed.partitioned.channels
+        ],
+        "monolithic_per_sec": rate(monolithic_seconds),
+        "composite_per_sec": rate(composite_seconds),
+        "channel_overhead_factor": overhead,
+        "processes_per_sec": rate(process_seconds) if process_seconds else None,
+        "processes_skipped": process_skip,
+        "matches_monolithic": not failures,
+    }
+    if arguments.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"2-location split ({' -> '.join(distributed.locations)}), "
+            f"{instants} instants:"
+        )
+        print(f"  monolithic:      {summary['monolithic_per_sec']:,.0f} instants/s")
+        print(
+            f"  composite:       {summary['composite_per_sec']:,.0f} instants/s "
+            f"({overhead:.2f}x the monolithic step time)"
+        )
+        if process_skip is not None:
+            print(f"  OS processes:    SKIP ({process_skip})")
+        else:
+            print(f"  OS processes:    {summary['processes_per_sec']:,.0f} instants/s")
+        if failures:
+            for failure in failures:
+                print(f"  FAIL: {failure}")
+        else:
+            print("  composite traces match the monolithic reference")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,16 @@ fleet is down::
         --backend 127.0.0.1:7421 --store .repro-cache
     python -m repro remote-compile a.sig --port 7400 --emit python
 
+``python -m repro partition`` splits a location-annotated process into one
+compiled program per ``at`` location plus typed channels, and can run the
+fragments lock-step (optionally one OS process each) against the unsplit
+reference; ``simulate --distributed`` steps a population of such composite
+instances::
+
+    python -m repro partition program.sig
+    python -m repro partition program.sig --run 64 --processes
+    python -m repro simulate program.sig --distributed --ticks 100
+
 The single-file mode is a thin layer over
 :func:`repro.compiler.compile_source`; it exists so the compiler can be used
 like the original batch SIGNAL compiler.
@@ -92,12 +102,14 @@ __all__ = [
     "run_gateway",
     "run_remote_compile",
     "run_simulate",
+    "run_partition",
     "build_argument_parser",
     "build_batch_argument_parser",
     "build_serve_argument_parser",
     "build_gateway_argument_parser",
     "build_remote_argument_parser",
     "build_simulate_argument_parser",
+    "build_partition_argument_parser",
     "resolve_serve_workers",
 ]
 
@@ -121,9 +133,10 @@ def build_argument_parser() -> argparse.ArgumentParser:
             "through one compilation service, 'repro serve' starts the "
             "compilation daemon, 'repro gateway' federates several daemons "
             "behind one address, 'repro remote-compile <files...>' compiles "
-            "on a running daemon or gateway (see 'repro <subcommand> "
-            "--help'); a source file literally named like a subcommand must "
-            "be passed as './batch', './serve', ..."
+            "on a running daemon or gateway, 'repro partition' splits a "
+            "location-annotated process into per-location programs (see "
+            "'repro <subcommand> --help'); a source file literally named "
+            "like a subcommand must be passed as './batch', './serve', ..."
         ),
     )
     parser.add_argument("source", help="path to a SIGNAL source file, or - for stdin")
@@ -590,6 +603,15 @@ def build_simulate_argument_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a machine-readable JSON summary instead of text",
     )
+    parser.add_argument(
+        "--distributed",
+        action="store_true",
+        help=(
+            "partition the program at its 'at' location annotations and "
+            "step each instance as the lock-step composite of the "
+            "per-location fragments (see 'repro partition')"
+        ),
+    )
     return parser
 
 
@@ -603,6 +625,11 @@ def run_simulate(argv: List[str]) -> int:
     if arguments.record is not None and arguments.flat:
         print("error: --flat cannot be combined with --record", file=sys.stderr)
         return 2
+    if arguments.distributed:
+        if arguments.record is not None:
+            print("error: --distributed requires a source file", file=sys.stderr)
+            return 2
+        return _run_simulate_distributed(arguments)
 
     style = GenerationStyle.FLAT if arguments.flat else GenerationStyle.HIERARCHICAL
     try:
@@ -697,6 +724,215 @@ def run_simulate(argv: List[str]) -> int:
         if not presence:
             print("  (no output was ever present)")
     return 0
+
+
+def _run_simulate_distributed(arguments) -> int:
+    """``simulate --distributed``: step a population of composite instances."""
+    from .runtime.distributed import build_distributed
+
+    style = GenerationStyle.FLAT if arguments.flat else GenerationStyle.HIERARCHICAL
+    try:
+        source = _read_source(arguments.source)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        distributed = build_distributed(source=source, style=style)
+    except SignalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    reference = distributed.reference
+    executable = reference.executable_flat if arguments.flat else reference.executable
+    presence = {}
+    started = time.perf_counter()
+    for index in range(arguments.instances):
+        schedule = random_input_schedule(
+            reference.types,
+            list(executable.inputs),
+            list(executable.root_flags),
+            steps=arguments.ticks,
+            seed=random.Random(f"{arguments.seed}:{index}"),
+        )
+        for outputs in distributed.run(schedule):
+            for signal in outputs:
+                presence[signal] = presence.get(signal, 0) + 1
+    elapsed = time.perf_counter() - started
+
+    instance_steps = arguments.instances * arguments.ticks
+    if arguments.json:
+        print(
+            json.dumps(
+                {
+                    "name": reference.name,
+                    "backend": "distributed",
+                    "locations": distributed.locations,
+                    "channels": len(distributed.partitioned.channels),
+                    "instances": arguments.instances,
+                    "ticks": arguments.ticks,
+                    "instance_steps": instance_steps,
+                    "seed": arguments.seed,
+                    "outputs": {
+                        signal: presence.get(signal, 0) for signal in sorted(presence)
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        rate = instance_steps / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"process {reference.name}: {arguments.instances} instance(s) x "
+            f"{arguments.ticks} tick(s), backend distributed "
+            f"({len(distributed.locations)} location(s): "
+            f"{', '.join(distributed.locations)})"
+        )
+        print(
+            f"  {instance_steps} instance-steps in {elapsed * 1000.0:.1f} ms "
+            f"({rate:,.0f}/s)"
+        )
+        for signal in sorted(presence):
+            print(f"  {signal}: present {presence[signal]}/{instance_steps}")
+        if not presence:
+            print("  (no output was ever present)")
+    return 0
+
+
+def build_partition_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro partition",
+        description=(
+            "Partition a location-annotated SIGNAL process into one "
+            "compiled program per 'at' location plus typed channels, and "
+            "optionally run the fragments lock-step against the monolithic "
+            "reference"
+        ),
+    )
+    parser.add_argument("source", help="path to a SIGNAL source file, or - for stdin")
+    parser.add_argument(
+        "--run",
+        type=int,
+        metavar="N",
+        default=0,
+        help=(
+            "additionally run N instants with random inputs and check the "
+            "composite trace against the unsplit reference"
+        ),
+    )
+    parser.add_argument(
+        "--processes",
+        action="store_true",
+        help=(
+            "with --run: execute each fragment in its own OS process, "
+            "channels as multiprocessing pipes (default: in-process lock-step)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for the --run random inputs"
+    )
+    parser.add_argument(
+        "--monolithic",
+        action="store_true",
+        help=(
+            "compile fragments through the monolithic service path instead "
+            "of the modular (unit-cached) one"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary instead of text",
+    )
+    return parser
+
+
+def run_partition(argv: List[str]) -> int:
+    """The ``partition`` subcommand: split a program at its 'at' annotations."""
+    from .runtime.distributed import build_distributed
+
+    parser = build_partition_argument_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        source = _read_source(arguments.source)
+    except OSError as error:
+        print(f"error: cannot read {arguments.source}: {error}", file=sys.stderr)
+        return 2
+    try:
+        distributed = build_distributed(
+            source=source, modular=not arguments.monolithic
+        )
+    except SignalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    partitioned = distributed.partitioned
+    summary = {
+        "name": partitioned.program.name,
+        "locations": distributed.locations,
+        "fragments": [
+            {
+                "location": runtime.location,
+                "processes": len(runtime.fragment.program.processes),
+                "inputs": list(runtime.fragment.program.inputs),
+                "outputs": list(runtime.fragment.program.outputs),
+                "external_inputs": list(runtime.fragment.external_inputs),
+                "channel_inputs": list(runtime.fragment.channel_inputs),
+                "channel_outputs": list(runtime.fragment.channel_outputs),
+            }
+            for runtime in distributed.runtimes
+        ],
+        "channels": [
+            {
+                "producer": channel.producer,
+                "consumer": channel.consumer,
+                "signals": [
+                    {"name": s.name, "type": s.type_name} for s in channel.signals
+                ],
+            }
+            for channel in partitioned.channels
+        ],
+    }
+
+    check: Optional[bool] = None
+    if arguments.run > 0:
+        reference = distributed.reference
+        schedule = random_input_schedule(
+            reference.types,
+            list(reference.executable.inputs),
+            list(reference.executable.root_flags),
+            steps=arguments.run,
+            seed=arguments.seed,
+        )
+        outputs = set(partitioned.program.outputs)
+        monolithic = [
+            {name: value for name, value in step.items() if name in outputs}
+            for step in reference.executable.fresh().run(list(schedule))
+        ]
+        if arguments.processes:
+            composite = distributed.run_multiprocess(schedule)
+        else:
+            composite = distributed.run(schedule)
+        check = composite == monolithic
+        summary["run"] = {
+            "instants": arguments.run,
+            "seed": arguments.seed,
+            "mode": "processes" if arguments.processes else "in-process",
+            "matches_monolithic": check,
+        }
+
+    if arguments.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(partitioned.describe())
+        if check is not None:
+            mode = "OS processes" if arguments.processes else "in-process lock-step"
+            verdict = "matches" if check else "DIVERGES FROM"
+            print(
+                f"ran {arguments.run} instant(s) ({mode}): composite trace "
+                f"{verdict} the monolithic reference"
+            )
+    return 0 if check is not False else 1
 
 
 def _read_source(path: str) -> str:
@@ -963,6 +1199,7 @@ SUBCOMMANDS = {
     "gateway": run_gateway,
     "remote-compile": run_remote_compile,
     "simulate": run_simulate,
+    "partition": run_partition,
 }
 
 

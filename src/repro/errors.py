@@ -74,6 +74,16 @@ class CausalityError(SignalError):
     """Raised when the conditional dependency graph has an instantaneous cycle."""
 
 
+class PartitionError(SignalError):
+    """Raised when a program cannot be split across its ``at`` locations.
+
+    Covers contradictory placement annotations (a signal pinned to two
+    different locations) and partitions whose locations would have to
+    exchange values in both directions within one instant (a communication
+    cycle the lock-step harness cannot schedule).
+    """
+
+
 class CodeGenerationError(SignalError):
     """Raised when code generation cannot proceed (e.g. no master clock)."""
 

@@ -216,14 +216,18 @@ class Cell(Expression):
 
 @dataclass(frozen=True)
 class Equation:
-    """A defining equation ``target := expression``."""
+    """A defining equation ``target := expression [at location]``."""
 
     target: str
     expression: Expression
     location: Optional[SourceLocation] = field(default=None, compare=False)
+    #: optional distribution annotation: the location this equation (and its
+    #: target signal) is pinned to, e.g. ``X := E at edge``
+    at_location: Optional[str] = None
 
     def __str__(self) -> str:
-        return f"{self.target} := {self.expression}"
+        suffix = f" at {self.at_location}" if self.at_location else ""
+        return f"{self.target} := {self.expression}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -248,14 +252,17 @@ Statement = Union[Equation, Synchro]
 
 @dataclass(frozen=True)
 class SignalDeclaration:
-    """A typed signal declaration, e.g. ``boolean BRAKE``."""
+    """A typed signal declaration, e.g. ``boolean BRAKE`` or ``boolean BRAKE at edge``."""
 
     name: str
     type_name: str
     location: Optional[SourceLocation] = field(default=None, compare=False)
+    #: optional distribution annotation: the location this signal is pinned to
+    at_location: Optional[str] = None
 
     def __str__(self) -> str:
-        return f"{self.type_name} {self.name}"
+        suffix = f" at {self.at_location}" if self.at_location else ""
+        return f"{self.type_name} {self.name}{suffix}"
 
 
 @dataclass

@@ -20,7 +20,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import NameResolutionError, TypeError_
+from ..errors import NameResolutionError, PartitionError, TypeError_
 from .ast import (
     BinaryOp,
     Cell,
@@ -155,6 +155,10 @@ class KernelProgram:
         type must be inferred (fresh intermediates).
     processes:
         The list of kernel processes (the body, as a flat composition).
+    locations:
+        Map from signal name to the location it was explicitly pinned to by
+        an ``at`` annotation.  Only annotated signals appear; empty for
+        programs without distribution annotations.
     """
 
     name: str
@@ -163,6 +167,7 @@ class KernelProgram:
     locals: List[str] = field(default_factory=list)
     declared_types: Dict[str, str] = field(default_factory=dict)
     processes: List[KernelProcess] = field(default_factory=list)
+    locations: Dict[str, str] = field(default_factory=dict)
 
     @property
     def signals(self) -> List[str]:
@@ -217,6 +222,14 @@ class KernelProgram:
                 for name, type_name in sorted(self.declared_types.items())
             ),
         ]
+        if self.locations:
+            # Only annotated programs carry this line, so every fingerprint
+            # computed before locations existed is unchanged.
+            lines.append(
+                "locs " + ";".join(
+                    f"{name}:{loc}" for name, loc in sorted(self.locations.items())
+                )
+            )
         lines.extend(str(process) for process in self.processes)
         return "\n".join(lines)
 
@@ -290,6 +303,7 @@ def rename_program(
             mapping.get(s, s): t for s, t in program.declared_types.items()
         },
         processes=[rename_process(p, mapping) for p in program.processes],
+        locations={mapping.get(s, s): loc for s, loc in program.locations.items()},
     )
 
 
@@ -304,6 +318,11 @@ class _Normalizer:
             outputs=process.output_names(),
             locals=process.local_names(),
             declared_types={d.name: d.type_name for d in process.declared_signals()},
+            locations={
+                d.name: d.at_location
+                for d in process.declared_signals()
+                if d.at_location
+            },
         )
         self._declared = set(self.program.signals)
         self._fresh_counter = 0
@@ -484,6 +503,16 @@ class _Normalizer:
                         statement.location,
                     )
                 defined[statement.target] = True
+                if statement.at_location:
+                    pinned = self.program.locations.get(statement.target)
+                    if pinned is not None and pinned != statement.at_location:
+                        raise PartitionError(
+                            f"signal {statement.target!r} is pinned to location "
+                            f"{pinned!r} by its declaration but to "
+                            f"{statement.at_location!r} by its equation",
+                            statement.location,
+                        )
+                    self.program.locations[statement.target] = statement.at_location
                 self.compile_expression(statement.expression, target=statement.target)
             elif isinstance(statement, Synchro):
                 names = []

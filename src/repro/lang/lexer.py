@@ -36,6 +36,7 @@ KEYWORDS = frozenset(
         "boolean",
         "integer",
         "real",
+        "at",
     }
 )
 

@@ -4,9 +4,9 @@ Grammar (informal)::
 
     process      ::= "process" IDENT "=" interface body [ "where" decls ] "end" [";"]
     interface    ::= "(" [ "?" decls ] [ "!" decls ] ")"
-    decls        ::= { type IDENT { "," IDENT } ";" }
+    decls        ::= { type IDENT [ "at" IDENT ] { "," IDENT [ "at" IDENT ] } ";" }
     body         ::= "(|" statement { "|" statement } "|)"
-    statement    ::= IDENT ":=" expr
+    statement    ::= IDENT ":=" expr [ "at" IDENT ]
                    | "synchro" "{" expr { "," expr } "}"
     expr         ::= default-expr
     default-expr ::= when-expr { "default" when-expr }
@@ -114,25 +114,34 @@ class Parser:
 
     # -- declarations ---------------------------------------------------------
     def _parse_declaration_group(self) -> List[SignalDeclaration]:
-        """Parse ``type IDENT {"," IDENT} ";"`` and return one declaration per name."""
+        """Parse ``type IDENT ["at" IDENT] {"," IDENT ["at" IDENT]} ";"``.
+
+        Returns one declaration per name.  The optional ``at <loc>`` suffix is
+        the distribution annotation consumed by :mod:`repro.lang.partition`.
+        """
         type_token = self.current
         if not any(type_token.is_keyword(name) for name in _TYPE_NAMES):
             raise ParseError(
                 f"expected a type name but found {type_token.text!r}", type_token.location
             )
         self._advance()
-        declarations = []
-        name_token = self._expect_identifier()
-        declarations.append(
-            SignalDeclaration(name_token.text, type_token.text, name_token.location)
-        )
+        declarations = [self._parse_declared_name(type_token.text)]
         while self._accept_operator(","):
-            name_token = self._expect_identifier()
-            declarations.append(
-                SignalDeclaration(name_token.text, type_token.text, name_token.location)
-            )
+            declarations.append(self._parse_declared_name(type_token.text))
         self._expect_operator(";")
         return declarations
+
+    def _parse_declared_name(self, type_name: str) -> SignalDeclaration:
+        name_token = self._expect_identifier()
+        return SignalDeclaration(
+            name_token.text, type_name, name_token.location, self._parse_at_annotation()
+        )
+
+    def _parse_at_annotation(self) -> Optional[str]:
+        """Parse an optional trailing ``at IDENT`` location annotation."""
+        if self._accept_keyword("at"):
+            return self._expect_identifier().text
+        return None
 
     def _parse_declarations(self) -> List[SignalDeclaration]:
         declarations: List[SignalDeclaration] = []
@@ -191,7 +200,8 @@ class Parser:
         target = self._expect_identifier()
         self._expect_operator(":=")
         expression = self.parse_expression()
-        return Equation(target.text, expression, target.location)
+        at_location = self._parse_at_annotation()
+        return Equation(target.text, expression, target.location, at_location)
 
     def _parse_synchro(self) -> Synchro:
         keyword = self._expect_keyword("synchro")

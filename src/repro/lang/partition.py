@@ -1,0 +1,386 @@
+"""Location-directed partitioning of a kernel program.
+
+After *A Type System for the Automatic Distribution of Higher-order
+Synchronous Dataflow Programs* (Delaval, Girault, Pouzet): ``at <loc>``
+annotations on signal declarations and equations pin parts of a program to
+named locations; this pass infers a location for **every** kernel process,
+cuts the program at the cross-location edges, and emits one self-contained
+:class:`~repro.lang.kernel.KernelProgram` per location plus a set of typed
+channels carrying the cut signals.
+
+Placement inference is deterministic:
+
+* explicit annotations (collected by :func:`~repro.lang.kernel.normalize`
+  into ``KernelProgram.locations``) seed the assignment; a signal pinned to
+  two different locations is rejected during desugaring with a
+  :class:`~repro.errors.PartitionError` carrying the offending equation's
+  :class:`~repro.errors.SourceLocation`;
+* locations propagate along dataflow to a fixpoint, in process order --
+  forward (an unplaced equation adopts the location of its first placed
+  operand) and backward (a placed equation pulls its unplaced non-input
+  operands to its own location); placements are never overwritten, so the
+  first assignment in the deterministic sweep wins;
+* whatever remains lands on the *default* location: the first location
+  named by any annotation (or ``"main"`` for unannotated programs).
+
+Every equation is placed at the location of its target; ``synchro``
+constraints are placed at the location of their first member.  A signal
+read at a location other than the one defining it becomes a **channel
+signal**: an output of the producing fragment, an input of each consuming
+fragment, with its (inferred) type recorded on the channel.  The fragment
+graph must be acyclic location-to-location -- the lock-step harness in
+:mod:`repro.runtime.distributed` delivers channel values within the
+instant, so mutually-dependent locations cannot be scheduled and are
+rejected with a :class:`~repro.errors.PartitionError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import PartitionError
+from .kernel import KernelProgram, KernelSynchro, normalize
+from .types import infer_types
+from .units import process_signals
+
+__all__ = [
+    "DEFAULT_LOCATION",
+    "ChannelSignal",
+    "Channel",
+    "Fragment",
+    "PartitionedProgram",
+    "LocationAssignment",
+    "infer_locations",
+    "partition_program",
+    "partition_source",
+]
+
+#: Location assigned to everything in a program without any annotation.
+DEFAULT_LOCATION = "main"
+
+
+@dataclass(frozen=True)
+class ChannelSignal:
+    """One signal carried by a channel, with its inferred scalar type."""
+
+    name: str
+    type_name: str
+
+    def __str__(self) -> str:
+        return f"{self.type_name} {self.name}"
+
+
+@dataclass(frozen=True)
+class Channel:
+    """All the signals one location sends to one other location.
+
+    Each signal is transported as a (presence, value) pair per instant --
+    the clock travels with the value, so the consumer learns absence
+    explicitly.
+    """
+
+    producer: str
+    consumer: str
+    signals: Tuple[ChannelSignal, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(s) for s in self.signals)
+        return f"{self.producer} -> {self.consumer}: {{{inner}}}"
+
+
+@dataclass
+class Fragment:
+    """The sub-program pinned to one location.
+
+    ``program`` is a self-contained kernel program: channel signals received
+    from other locations appear among its inputs, channel signals consumed
+    elsewhere among its outputs (so generated code emits them).
+    """
+
+    location: str
+    program: KernelProgram
+    #: whole-program inputs read at this location, in interface order
+    external_inputs: List[str] = field(default_factory=list)
+    #: cut signals received from other locations, in first-use order
+    channel_inputs: List[str] = field(default_factory=list)
+    #: cut signals produced here for other locations, in definition order
+    channel_outputs: List[str] = field(default_factory=list)
+
+
+@dataclass
+class LocationAssignment:
+    """The result of placement inference over one kernel program."""
+
+    #: location of every signal that has one (defined signals always do;
+    #: inputs only when explicitly annotated)
+    signal_locations: Dict[str, str]
+    #: location of each kernel process, parallel to ``program.processes``
+    process_locations: List[str]
+    #: locations in first-appearance order (annotation order, then default)
+    locations: List[str]
+
+
+@dataclass
+class PartitionedProgram:
+    """A program cut into per-location fragments plus the channels between them."""
+
+    program: KernelProgram
+    assignment: LocationAssignment
+    #: fragments in a topological order of the location graph (producers
+    #: before consumers) -- the order the harness steps them each instant
+    fragments: List[Fragment]
+    channels: List[Channel]
+
+    def fragment_at(self, location: str) -> Fragment:
+        for fragment in self.fragments:
+            if fragment.location == location:
+                return fragment
+        raise KeyError(location)
+
+    def describe(self) -> str:
+        lines = [f"program {self.program.name}: {len(self.fragments)} location(s)"]
+        for fragment in self.fragments:
+            prog = fragment.program
+            lines.append(
+                f"  at {fragment.location}: {len(prog.processes)} process(es), "
+                f"in [{', '.join(prog.inputs)}], out [{', '.join(prog.outputs)}]"
+            )
+        for channel in self.channels:
+            lines.append(f"  channel {channel}")
+        return "\n".join(lines)
+
+
+def infer_locations(program: KernelProgram) -> LocationAssignment:
+    """Assign a location to every kernel process (and defined signal).
+
+    Deterministic fixpoint propagation from the explicit annotations; see
+    the module docstring for the exact rules.
+    """
+    signal_locations: Dict[str, str] = dict(program.locations)
+    location_order: List[str] = []
+    for loc in program.locations.values():
+        if loc not in location_order:
+            location_order.append(loc)
+
+    defined = set(program.defined_signals())
+    processes = program.processes
+    process_locations: List[Optional[str]] = [None] * len(processes)
+
+    changed = True
+    while changed:
+        changed = False
+        for index, process in enumerate(processes):
+            if isinstance(process, KernelSynchro):
+                continue
+            loc = process_locations[index]
+            if loc is None:
+                loc = signal_locations.get(process.target)
+            if loc is None:
+                # Forward: adopt the first placed operand's location.
+                for signal in process_signals(process)[1:]:
+                    loc = signal_locations.get(signal)
+                    if loc is not None:
+                        break
+            if loc is None:
+                continue
+            if process_locations[index] is None:
+                process_locations[index] = loc
+                changed = True
+            if process.target not in signal_locations:
+                signal_locations[process.target] = loc
+                changed = True
+            # Backward: pull unplaced defined operands to this location
+            # (inputs stay external -- the harness routes them directly).
+            for signal in process_signals(process)[1:]:
+                if signal in defined and signal not in signal_locations:
+                    signal_locations[signal] = loc
+                    changed = True
+
+    default = location_order[0] if location_order else DEFAULT_LOCATION
+    for index, process in enumerate(processes):
+        if isinstance(process, KernelSynchro):
+            loc = None
+            for signal in process.signals:
+                loc = signal_locations.get(signal)
+                if loc is not None:
+                    break
+            process_locations[index] = loc if loc is not None else default
+        elif process_locations[index] is None:
+            process_locations[index] = default
+            signal_locations.setdefault(process.target, default)
+
+    if default not in location_order and any(
+        loc == default for loc in process_locations
+    ):
+        location_order.append(default)
+
+    return LocationAssignment(
+        signal_locations=signal_locations,
+        process_locations=[loc for loc in process_locations],  # now all set
+        locations=location_order,
+    )
+
+
+def _topological_locations(
+    locations: List[str], edges: List[Tuple[str, str]]
+) -> List[str]:
+    """Kahn's algorithm in first-appearance order; raises on a cycle."""
+    indegree = {loc: 0 for loc in locations}
+    successors: Dict[str, List[str]] = {loc: [] for loc in locations}
+    for producer, consumer in edges:
+        if consumer not in successors[producer]:
+            successors[producer].append(consumer)
+            indegree[consumer] += 1
+    order: List[str] = []
+    ready = [loc for loc in locations if indegree[loc] == 0]
+    while ready:
+        current = ready.pop(0)
+        order.append(current)
+        for successor in successors[current]:
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                ready.append(successor)
+    if len(order) != len(locations):
+        cyclic = sorted(loc for loc in locations if loc not in order)
+        raise PartitionError(
+            "locations "
+            + ", ".join(repr(loc) for loc in cyclic)
+            + " exchange values in both directions within an instant; the"
+            " lock-step distributed harness cannot schedule such a cut --"
+            " co-locate the mutually dependent equations"
+        )
+    return order
+
+
+def partition_program(program: KernelProgram) -> PartitionedProgram:
+    """Cut ``program`` into one fragment per inferred location.
+
+    The composite behaviour of the fragments (with channel signals copied
+    producer-to-consumer within each instant) is the behaviour of the
+    original program; tests enforce this differentially against the
+    reference interpreter.
+    """
+    assignment = infer_locations(program)
+    types = infer_types(program)
+    inputs = set(program.inputs)
+    defined_at: Dict[str, str] = {
+        signal: assignment.signal_locations[signal]
+        for signal in program.defined_signals()
+    }
+
+    # Locations that own at least one process, in assignment order.
+    fragment_locations: List[str] = []
+    for loc in assignment.process_locations:
+        if loc not in fragment_locations:
+            fragment_locations.append(loc)
+
+    # Reads per location, and the cut: (producer, consumer) -> [signals].
+    reads: Dict[str, List[str]] = {loc: [] for loc in fragment_locations}
+    for process, loc in zip(program.processes, assignment.process_locations):
+        names = (
+            process.signals
+            if isinstance(process, KernelSynchro)
+            else process_signals(process)[1:]
+        )
+        for signal in names:
+            if signal not in reads[loc]:
+                reads[loc].append(signal)
+
+    cuts: Dict[Tuple[str, str], List[str]] = {}
+    for consumer in fragment_locations:
+        for signal in reads[consumer]:
+            producer = defined_at.get(signal)
+            if producer is not None and producer != consumer:
+                bucket = cuts.setdefault((producer, consumer), [])
+                if signal not in bucket:
+                    bucket.append(signal)
+
+    topo = _topological_locations(fragment_locations, list(cuts.keys()))
+
+    channel_in: Dict[str, List[str]] = {loc: [] for loc in fragment_locations}
+    channel_out: Dict[str, List[str]] = {loc: [] for loc in fragment_locations}
+    for (producer, consumer), signals in cuts.items():
+        for signal in signals:
+            if signal not in channel_in[consumer]:
+                channel_in[consumer].append(signal)
+            if signal not in channel_out[producer]:
+                channel_out[producer].append(signal)
+
+    fragments: List[Fragment] = []
+    for loc in topo:
+        members = [
+            process
+            for process, ploc in zip(program.processes, assignment.process_locations)
+            if ploc == loc
+        ]
+        mentioned: List[str] = []
+        for process in members:
+            for signal in process_signals(process):
+                if signal not in mentioned:
+                    mentioned.append(signal)
+        externals = [s for s in program.inputs if s in mentioned]
+        chan_in = [s for s in channel_in[loc] if s in mentioned]
+        frag_inputs = externals + chan_in
+        frag_outputs = [
+            s for s in program.outputs if defined_at.get(s) == loc
+        ] + [s for s in channel_out[loc] if s not in program.outputs]
+        frag_locals = [
+            s for s in mentioned if s not in frag_inputs and s not in frag_outputs
+        ]
+        declared_types = {}
+        for signal in frag_inputs + frag_outputs + frag_locals:
+            type_name = program.declared_types.get(signal, "")
+            if not type_name and signal in chan_in:
+                # Fresh intermediates have no declared type in the source;
+                # as channel inputs they lose their defining equation, so
+                # pin the whole-program inferred type instead.
+                type_name = types[signal].value
+            declared_types[signal] = type_name
+        fragments.append(
+            Fragment(
+                location=loc,
+                program=KernelProgram(
+                    name=f"{program.name}_{loc}",
+                    inputs=frag_inputs,
+                    outputs=frag_outputs,
+                    locals=frag_locals,
+                    declared_types=declared_types,
+                    processes=list(members),
+                ),
+                external_inputs=externals,
+                channel_inputs=chan_in,
+                channel_outputs=list(channel_out[loc]),
+            )
+        )
+
+    channels = [
+        Channel(
+            producer=producer,
+            consumer=consumer,
+            signals=tuple(
+                ChannelSignal(signal, types[signal].value) for signal in signals
+            ),
+        )
+        for (producer, consumer), signals in sorted(
+            cuts.items(), key=lambda item: (topo.index(item[0][0]), topo.index(item[0][1]))
+        )
+    ]
+
+    return PartitionedProgram(
+        program=program,
+        assignment=LocationAssignment(
+            signal_locations=assignment.signal_locations,
+            process_locations=assignment.process_locations,
+            locations=topo,
+        ),
+        fragments=fragments,
+        channels=channels,
+    )
+
+
+def partition_source(source: str, filename: str = "<signal>") -> PartitionedProgram:
+    """Parse, desugar and partition a surface-language source text."""
+    from .parser import parse_process
+
+    return partition_program(normalize(parse_process(source, filename)))

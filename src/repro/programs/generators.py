@@ -71,6 +71,15 @@ class ControlProgramSpec:
         floored ``//``/``%`` from C's truncate-toward-zero division -- a
         backend that lowers the operators naively diverges on the first
         negative operand.
+    distributed:
+        Whether the program is location-annotated for the partitioner:
+        inputs are pinned ``at edge`` and each module gains a small
+        ``at cloud`` post-processing layer (a relay of the alarm, plus an
+        accumulator over the filter output when ``with_filter``), so the
+        program cuts into an edge fragment feeding a cloud fragment over
+        typed channels.  Off by default -- unannotated specs generate
+        byte-identical sources to earlier revisions, preserving
+        fingerprints and cached artifacts.
     """
 
     name: str
@@ -80,6 +89,7 @@ class ControlProgramSpec:
     with_filter: bool = True
     with_counter: bool = True
     with_arithmetic: bool = False
+    distributed: bool = False
 
     def parent_of(self, module: int) -> Optional[int]:
         if module == 0:
@@ -148,6 +158,14 @@ def _module_equations(spec: ControlProgramSpec, module: int) -> List[str]:
         lines.append(f"RD_{m} := (W_{m} + 2) modulo DEN_{m}")
         lines.append(f"XR_{m} := (W_{m} >= 0) xor STOP_{m}")
 
+    # Cloud post-processing layer: consumes edge-defined signals only, so
+    # each line becomes a channel cut rather than a remote input read.
+    if spec.distributed:
+        lines.append(f"RLY_{m} := (not ALR_{m}) at cloud")
+        if spec.with_filter:
+            lines.append(f"AGG_{m} := (FLT_{m} + ZAGG_{m}) at cloud")
+            lines.append(f"ZAGG_{m} := AGG_{m} $ 1 init 0 at cloud")
+
     return lines
 
 
@@ -173,8 +191,13 @@ def generate_control_program(spec: ControlProgramSpec) -> str:
         if spec.with_arithmetic:
             input_integers.append(f"W_{module}")
         output_booleans.append(f"ALR_{module}")
+        if spec.distributed:
+            output_booleans.append(f"RLY_{module}")
         if spec.with_filter:
             output_integers.append(f"FLT_{module}")
+            if spec.distributed:
+                output_integers.append(f"AGG_{module}")
+                local_integers.append(f"ZAGG_{module}")
         if spec.with_arithmetic:
             output_booleans.append(f"XR_{module}")
             output_integers.extend(
@@ -189,16 +212,25 @@ def generate_control_program(spec: ControlProgramSpec) -> str:
             local_integers.append(f"DEN_{module}")
         equations.extend(_module_equations(spec, module))
 
-    def declaration_block(booleans: List[str], integers: List[str]) -> List[str]:
+    def declaration_block(
+        booleans: List[str], integers: List[str], suffix: str = ""
+    ) -> List[str]:
         block = []
         if booleans:
-            block.append("boolean " + ", ".join(booleans) + ";")
+            block.append("boolean " + ", ".join(n + suffix for n in booleans) + ";")
         if integers:
-            block.append("integer " + ", ".join(integers) + ";")
+            block.append("integer " + ", ".join(n + suffix for n in integers) + ";")
         return block
 
+    # Pinning the inputs at the edge makes ``edge`` the first-annotated
+    # (hence default) location, so everything except the explicit
+    # ``at cloud`` layer stays edge-side.
+    input_suffix = " at edge" if spec.distributed else ""
     lines: List[str] = [f"process {spec.name} ="]
-    lines.append("  ( ? " + " ".join(declaration_block(input_booleans, input_integers)))
+    lines.append(
+        "  ( ? "
+        + " ".join(declaration_block(input_booleans, input_integers, input_suffix))
+    )
     lines.append("    ! " + " ".join(declaration_block(output_booleans, output_integers)) + " )")
     lines.append("  (| " + "\n   | ".join(equations))
     lines.append("   |)")

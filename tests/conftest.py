@@ -1,4 +1,8 @@
-"""Shared fixtures: compiled versions of the example programs."""
+"""Shared fixtures: compiled example programs and child-process hygiene."""
+
+import os
+import subprocess
+import sys
 
 import pytest
 
@@ -43,3 +47,50 @@ def counter_step(counter_result):
     """A fresh counter step instance for tests that mutate state."""
     result = compile_source(COUNTER_SOURCE)
     return result.executable
+
+
+@pytest.fixture()
+def cli_server(tmp_path_factory):
+    """Spawn ``python -m repro <args>`` with guaranteed reaping.
+
+    Server-process tests (``serve``, ``gateway``) must never leave an
+    orphaned child behind, whatever assertion fails mid-test: the fixture
+    tracks every spawned process and at teardown escalates terminate ->
+    kill with bounded waits, then closes the output pipes.
+    """
+    spawned = []
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    def spawn(*args):
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", *args],
+            env={
+                **os.environ,
+                "PYTHONPATH": os.pathsep.join(
+                    filter(None, ["src", os.environ.get("PYTHONPATH")])
+                ),
+            },
+            cwd=root,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        spawned.append(process)
+        return process
+
+    yield spawn
+
+    for process in spawned:
+        if process.poll() is None:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                try:
+                    process.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+        for stream in (process.stdout, process.stderr):
+            if stream is not None:
+                stream.close()

@@ -11,8 +11,6 @@ import json
 import os
 import signal
 import socket
-import subprocess
-import sys
 import threading
 import time
 
@@ -504,36 +502,23 @@ class TestGracefulDrain:
         finally:
             daemon.stop()
 
-    def test_sigterm_drains_a_real_serve_process(self, tmp_path):
-        """`python -m repro serve` + SIGTERM: clean exit, socket removed."""
+    def test_sigterm_drains_a_real_serve_process(self, tmp_path, cli_server):
+        """`python -m repro serve` + SIGTERM: clean exit, socket removed.
+
+        The ``cli_server`` fixture owns the child's lifetime: even if an
+        assertion fires before the SIGTERM, teardown reaps the process.
+        """
         socket_path = str(tmp_path / "daemon.sock")
-        process = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--socket", socket_path],
-            env={
-                **os.environ,
-                "PYTHONPATH": os.pathsep.join(
-                    filter(None, ["src", os.environ.get("PYTHONPATH")])
-                ),
-            },
-            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-        )
-        try:
-            deadline = time.monotonic() + 20
-            while time.monotonic() < deadline and not os.path.exists(socket_path):
-                time.sleep(0.05)
-            assert os.path.exists(socket_path), "daemon never bound its socket"
-            with RemoteCompiler(socket_path=socket_path) as client:
-                assert client.compile(COUNTER_SOURCE).name == "COUNT"
-            process.send_signal(signal.SIGTERM)
-            assert process.wait(timeout=20) == 0
-            assert not os.path.exists(socket_path)
-        finally:
-            if process.poll() is None:  # pragma: no cover - cleanup on failure
-                process.kill()
-                process.wait()
+        process = cli_server("serve", "--socket", socket_path)
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline and not os.path.exists(socket_path):
+            time.sleep(0.05)
+        assert os.path.exists(socket_path), "daemon never bound its socket"
+        with RemoteCompiler(socket_path=socket_path) as client:
+            assert client.compile(COUNTER_SOURCE).name == "COUNT"
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=20) == 0
+        assert not os.path.exists(socket_path)
 
 
 class TestRequestLog:

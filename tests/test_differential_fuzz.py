@@ -30,9 +30,12 @@ Environment knobs (used by the CI parallel matrix entry):
 * ``REPRO_FUZZ_C_STRIDE`` -- seed stride of the loaded-C pass (default 4:
   every fourth seed; CI runs 1 = the whole corpus);
 * ``REPRO_FUZZ_MODULAR`` -- when ``1``, the modular-compilation pass runs
-  the whole corpus instead of every fourth seed.
+  the whole corpus instead of every fourth seed;
+* ``REPRO_FUZZ_DISTRIBUTED`` -- when ``1``, the distributed (partitioned)
+  pass runs the whole corpus instead of every fourth seed.
 """
 
+import dataclasses
 import os
 import random
 
@@ -646,3 +649,82 @@ def test_modular_corpus_stride_still_covers_multiple_shapes():
     specs = [spec_for_seed(seed) for seed in range(0, NUM_PROGRAMS, MODULAR_STRIDE)]
     assert any(spec.with_arithmetic for spec in specs)
     assert any(not spec.with_arithmetic for spec in specs)
+
+
+# -- distributed execution ---------------------------------------------------
+#
+# The same seeded corpus, location-annotated (``distributed=True`` pins the
+# inputs at the edge and adds a cloud post-processing layer per module) and
+# cut by the partitioner: the composite trace of the per-location fragments,
+# stepped lock-step with channel values copied within each instant, must be
+# byte-identical to the monolithic reference on the same schedule, and the
+# monolithic leg itself replays on the reference interpreter.  Strided by
+# default, the whole corpus with ``REPRO_FUZZ_DISTRIBUTED=1``; one seed also
+# runs across real OS processes.
+
+DISTRIBUTED_FULL = os.environ.get("REPRO_FUZZ_DISTRIBUTED", "0") == "1"
+DISTRIBUTED_STRIDE = 1 if DISTRIBUTED_FULL else 4
+
+#: Fragments compile modularly through this service, so edge fragments of
+#: different seeds sharing module shapes hit the fleet-wide unit cache.
+_DISTRIBUTED_SERVICE = CompilationService(
+    max_entries=NUM_PROGRAMS * 4, max_pool_nodes=4000
+)
+
+
+def distributed_spec_for_seed(seed):
+    """The seeded shape, location-annotated (same shape draw as the plain
+    corpus -- only the annotations and the cloud layer are added)."""
+    return dataclasses.replace(
+        spec_for_seed(seed), name=f"DFUZZ_{seed}", distributed=True
+    )
+
+
+def _distributed_case(seed):
+    from repro.runtime.distributed import build_distributed
+
+    source = generate_control_program(distributed_spec_for_seed(seed))
+    distributed = build_distributed(source=source, service=_DISTRIBUTED_SERVICE)
+    assert distributed.locations == ["edge", "cloud"], (
+        f"seed {seed}: annotated corpus must cut into edge -> cloud"
+    )
+    reference = distributed.reference
+    step = reference.executable.fresh()
+    schedule = schedule_for_seed(reference, step, seed, "distributed")
+    python_trace = ReactiveExecutor(step).run(REACTIONS, inputs_per_step=schedule)
+    # Anchor the monolithic leg to the reference semantics; the composite
+    # legs then only need to match it.
+    assert_replay_on_interpreter(reference, python_trace, seed, "distributed/mono")
+    outputs = set(distributed.program.outputs)
+    monolithic = [
+        {name: value for name, value in trace_step.outputs.items() if name in outputs}
+        for trace_step in python_trace
+    ]
+    return distributed, schedule, monolithic
+
+
+@pytest.mark.parametrize("seed", range(0, NUM_PROGRAMS, DISTRIBUTED_STRIDE))
+def test_distributed_corpus_differential(seed):
+    """Split == unsplit on the seeded corpus (strided by default, complete
+    with ``REPRO_FUZZ_DISTRIBUTED=1``)."""
+    distributed, schedule, monolithic = _distributed_case(seed)
+    assert distributed.run(schedule) == monolithic, (
+        f"seed {seed}: composite trace diverges from the monolithic reference"
+    )
+
+
+@pytest.mark.parametrize("seed", [0] if not DISTRIBUTED_FULL else [0, 17, 34])
+def test_distributed_corpus_across_os_processes(seed):
+    """At least one corpus program proves the cut over real OS processes."""
+    distributed, schedule, monolithic = _distributed_case(seed)
+    assert distributed.run_multiprocess(schedule) == monolithic, (
+        f"seed {seed}: OS-process composite trace diverges"
+    )
+
+
+def test_distributed_fragments_share_the_unit_cache():
+    """Edge fragments across seeds reuse unit artifacts: after the corpus
+    passes, the service must have recorded cross-program unit hits."""
+    for seed in (1, 2):
+        _distributed_case(seed)
+    assert _DISTRIBUTED_SERVICE.statistics()["unit_hits"] >= 1

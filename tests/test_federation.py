@@ -9,8 +9,6 @@ gateway`` process.
 
 import os
 import signal
-import subprocess
-import sys
 import threading
 import time
 
@@ -63,6 +61,23 @@ def covering_sources(*specs: str) -> list:
             return pool
         pool.append(counter_variant(n))
     pytest.fail("hash ring starved a backend across 64 extra keys (regression)")
+
+
+def _rebind_daemon(port: int, attempts: int = 10) -> ThreadedDaemon:
+    """Restart a daemon on a just-released port, tolerating parallel CI.
+
+    Between the stop and the rebind another test process may grab the
+    ephemeral port (or the kernel may hold it briefly); retry, and if it
+    stays taken by somebody else, skip rather than flake.
+    """
+    last_error = None
+    for _ in range(attempts):
+        try:
+            return ThreadedDaemon(port=port).start()
+        except (RuntimeError, OSError) as error:
+            last_error = error
+            time.sleep(0.1)
+    pytest.skip(f"port {port} was reclaimed by another process: {last_error}")
 
 
 def gateway_over(*daemons: ThreadedDaemon, **options) -> CompileGateway:
@@ -237,7 +252,7 @@ class TestFailover:
                 gateway.handle_request({"op": "compile", "source": owned[0]})
                 assert gateway.check_backends()[spec_one] is False
                 # Restart on the same port; with recheck due, traffic returns.
-                one = ThreadedDaemon(port=port).start()
+                one = _rebind_daemon(port)
                 assert gateway.check_backends()[spec_one] is True
                 response = gateway.handle_request({"op": "compile", "source": owned[0]})
                 assert response["backend"] == spec_one
@@ -375,38 +390,25 @@ class TestGatewayServer:
                 with RemoteCompiler(*daemon.address) as client:
                     assert client.stats()["daemon"]["record_entries"] == 0
 
-    def test_sigterm_drains_a_real_gateway_process(self, tmp_path):
-        """`python -m repro gateway` + SIGTERM: clean exit, socket removed."""
+    def test_sigterm_drains_a_real_gateway_process(self, tmp_path, cli_server):
+        """`python -m repro gateway` + SIGTERM: clean exit, socket removed.
+
+        The ``cli_server`` fixture owns the child's lifetime: even if an
+        assertion fires before the SIGTERM, teardown reaps the process.
+        """
         socket_path = str(tmp_path / "gateway.sock")
-        process = subprocess.Popen(
-            [sys.executable, "-m", "repro", "gateway", "--socket", socket_path],
-            env={
-                **os.environ,
-                "PYTHONPATH": os.pathsep.join(
-                    filter(None, ["src", os.environ.get("PYTHONPATH")])
-                ),
-            },
-            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-        )
-        try:
-            deadline = time.monotonic() + 20
-            while time.monotonic() < deadline and not os.path.exists(socket_path):
-                time.sleep(0.05)
-            assert os.path.exists(socket_path), "gateway never bound its socket"
-            with RemoteCompiler(socket_path=socket_path) as client:
-                # No backends registered: the gateway compiles locally.
-                result = client.compile(COUNTER_SOURCE)
-                assert result.name == "COUNT" and result.backend == "local"
-            process.send_signal(signal.SIGTERM)
-            assert process.wait(timeout=20) == 0
-            assert not os.path.exists(socket_path)
-        finally:
-            if process.poll() is None:  # pragma: no cover - cleanup on failure
-                process.kill()
-                process.wait()
+        process = cli_server("gateway", "--socket", socket_path)
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline and not os.path.exists(socket_path):
+            time.sleep(0.05)
+        assert os.path.exists(socket_path), "gateway never bound its socket"
+        with RemoteCompiler(socket_path=socket_path) as client:
+            # No backends registered: the gateway compiles locally.
+            result = client.compile(COUNTER_SOURCE)
+            assert result.name == "COUNT" and result.backend == "local"
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=20) == 0
+        assert not os.path.exists(socket_path)
 
 
 class TestClientRetries:
